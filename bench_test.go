@@ -1,0 +1,321 @@
+package csmabw
+
+// The benchmark harness: one benchmark per figure of the paper's
+// evaluation (there are no numbered tables), each regenerating the
+// figure's series at a reduced but statistically meaningful scale and
+// reporting the headline quantities as custom metrics; plus ablation
+// benchmarks for the design choices DESIGN.md calls out.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute values differ from the paper's testbed, but each metric's
+// *shape* relationship (who wins, where curves bend) must match; the
+// assertions encoding those relationships live in integration_test.go.
+
+import (
+	"testing"
+
+	"csmabw/internal/experiments"
+	"csmabw/internal/mac"
+	"csmabw/internal/phy"
+	"csmabw/internal/probe"
+	"csmabw/internal/sim"
+	"csmabw/internal/stats"
+	"csmabw/internal/traffic"
+)
+
+// benchScale keeps each iteration around a second while preserving the
+// curve shapes.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Reps: 60, SweepPoints: 10, SteadySeconds: 1}
+}
+
+func runFigure(b *testing.B, id string) *experiments.Figure {
+	b.Helper()
+	run, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig, err = run(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fig
+}
+
+// maxY returns the maximum Y of a series.
+func maxY(s experiments.Series) float64 {
+	m := 0.0
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+func BenchmarkFig1SteadyStateRRC(b *testing.B) {
+	fig := runFigure(b, "fig01")
+	// Headline: the plateau of the probe curve is the achievable
+	// throughput B (paper: ~3.4 Mb/s at 11 Mb/s PHY).
+	b.ReportMetric(maxY(fig.Series[0]), "B_Mbps")
+}
+
+func BenchmarkFig4CompleteRRC(b *testing.B) {
+	fig := runFigure(b, "fig04")
+	b.ReportMetric(maxY(fig.Series[0]), "probe_peak_Mbps")
+	fifo := fig.Series[2]
+	b.ReportMetric(fifo.Y[0]-fifo.Y[len(fifo.Y)-1], "fifo_loss_Mbps")
+}
+
+func BenchmarkFig6MeanAccessDelay(b *testing.B) {
+	run, err := experiments.Lookup("fig06")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fig *experiments.Figure
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err = run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := fig.Series[0]
+	// Transient magnitude: late-mean minus first-packet mean (ms).
+	b.ReportMetric(s.Y[len(s.Y)-1]-s.Y[0], "transient_ms")
+}
+
+func BenchmarkFig7Histograms(b *testing.B) {
+	fig := runFigure(b, "fig07")
+	// Distribution shift: distance between the two histogram modes (ms).
+	s1, s2 := fig.Series[0], fig.Series[1]
+	mode := func(s experiments.Series) float64 {
+		best, bx := -1.0, 0.0
+		for i, y := range s.Y {
+			if y > best {
+				best, bx = y, s.X[i]
+			}
+		}
+		return bx
+	}
+	b.ReportMetric(mode(s2)-mode(s1), "mode_shift_ms")
+}
+
+func BenchmarkFig8KSQueue(b *testing.B) {
+	fig := runFigure(b, "fig08")
+	ks := fig.Series[0]
+	b.ReportMetric(ks.Y[0], "KS_first_packet")
+	b.ReportMetric(ks.Y[len(ks.Y)-1], "KS_late_packet")
+}
+
+func BenchmarkFig9KSComplex(b *testing.B) {
+	fig := runFigure(b, "fig09")
+	ks := fig.Series[0]
+	b.ReportMetric(ks.Y[0], "KS_first_packet")
+}
+
+func BenchmarkFig10TransientDuration(b *testing.B) {
+	run, err := experiments.Lookup("fig10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Fig 10 is the heaviest sweep; trim it for benching.
+	p := experiments.DefaultFig10()
+	p.CrossLoads = []float64{0.2, 0.5, 0.8, 1.0}
+	p.TrainLen = 300
+	_ = run
+	var fig *experiments.Figure
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig10TransientDuration(p, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tol01 := fig.Series[0]
+	b.ReportMetric(maxY(tol01), "max_transient_pkts_tol0.1")
+}
+
+func BenchmarkFig13ShortTrains(b *testing.B) {
+	fig := runFigure(b, "fig13")
+	// Overestimation of the 3-packet train at the top rate vs steady.
+	steady, t3 := fig.Series[0], fig.Series[1]
+	b.ReportMetric(t3.Y[len(t3.Y)-1]-steady.Y[len(steady.Y)-1], "train3_excess_Mbps")
+}
+
+func BenchmarkFig15ShortTrainsFIFO(b *testing.B) {
+	fig := runFigure(b, "fig15")
+	steady, t3 := fig.Series[0], fig.Series[1]
+	b.ReportMetric(t3.Y[len(t3.Y)-1]-steady.Y[len(steady.Y)-1], "train3_excess_Mbps")
+}
+
+func BenchmarkFig16PacketPair(b *testing.B) {
+	run, err := experiments.Lookup("fig16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := experiments.DefaultFig16()
+	p.CrossRates = []float64{0, 2e6, 4e6, 6e6, 8e6}
+	_ = run
+	var fig *experiments.Figure
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Fig16PacketPair(p, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fluid, pair := fig.Series[0], fig.Series[1]
+	// Mean overestimation across the sweep.
+	sum := 0.0
+	for i := range fluid.Y {
+		sum += pair.Y[i] - fluid.Y[i]
+	}
+	b.ReportMetric(sum/float64(len(fluid.Y)), "pair_mean_excess_Mbps")
+}
+
+func BenchmarkFig17MSER(b *testing.B) {
+	fig := runFigure(b, "fig17")
+	steady, raw, corr := fig.Series[0], fig.Series[1], fig.Series[2]
+	rawErr, corrErr := 0.0, 0.0
+	for i := range steady.Y {
+		d1 := raw.Y[i] - steady.Y[i]
+		d2 := corr.Y[i] - steady.Y[i]
+		if d1 < 0 {
+			d1 = -d1
+		}
+		if d2 < 0 {
+			d2 = -d2
+		}
+		rawErr += d1
+		corrErr += d2
+	}
+	n := float64(len(steady.Y))
+	b.ReportMetric(rawErr/n, "raw_mean_abs_err_Mbps")
+	b.ReportMetric(corrErr/n, "mser_mean_abs_err_Mbps")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationAckRate compares link capacity with ACKs at the
+// basic rate (standard) vs at the data rate.
+func BenchmarkAblationAckRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		std := phy.B11()
+		fast := phy.B11()
+		fast.ACKAtDataRate = true
+		b.ReportMetric(std.MaxThroughput(1500)/1e6, "C_basicACK_Mbps")
+		b.ReportMetric(fast.MaxThroughput(1500)/1e6, "C_dataACK_Mbps")
+	}
+}
+
+// BenchmarkAblationKSInterp compares the per-packet KS series with and
+// without the paper's footnote-2 ECDF interpolation.
+func BenchmarkAblationKSInterp(b *testing.B) {
+	p := experiments.DefaultFig8()
+	p.TrainLen = 200
+	sc := benchScale()
+	var dInterp, dStep float64
+	for i := 0; i < b.N; i++ {
+		opt := experiments.DefaultKSOptions(p.TrainLen)
+		opt.Packets = 10
+		fig, err := experiments.FigKS("ks", p, sc, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dInterp = fig.Series[0].Y[0]
+		opt.Interpolate = false
+		fig, err = experiments.FigKS("ks", p, sc, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dStep = fig.Series[0].Y[0]
+	}
+	b.ReportMetric(dInterp, "KS_first_interp")
+	b.ReportMetric(dStep, "KS_first_step")
+}
+
+// BenchmarkAblationMSERBatch sweeps the MSER batch size m in {1,2,5}.
+func BenchmarkAblationMSERBatch(b *testing.B) {
+	l := probe.Link{
+		Contenders: []probe.Flow{{RateBps: 4e6, Size: 1500}},
+		Seed:       99,
+	}
+	for i := 0; i < b.N; i++ {
+		ts, err := probe.MeasureTrain(l, 20, 8e6, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := ts.InterDepartureGaps()
+		meanGaps := stats.RunningMeans(rows)
+		for _, m := range []int{1, 2, 5} {
+			cut := stats.MSERm(meanGaps, m)
+			b.ReportMetric(float64(cut.Cut), "cut_m"+string(rune('0'+m)))
+		}
+	}
+}
+
+// BenchmarkAblationPostBackoff quantifies the transient's mechanism:
+// with 802.11 immediate access (standard) the first probe packet is
+// accelerated; with the ablation switch every packet draws a backoff
+// and the first-vs-late access-delay difference shrinks.
+func BenchmarkAblationPostBackoff(b *testing.B) {
+	// instantFrac is the fraction of first probe packets whose access
+	// delay equals the pure data airtime — i.e. that found the channel
+	// idle and transmitted with zero backoff. Immediate access makes
+	// this common; the ablation makes it (nearly) impossible.
+	instantFrac := func(disable bool) float64 {
+		airtime := phy.B11().DIFS + phy.B11().DataTxTime(1500)
+		hits := 0
+		const reps = 150
+		for rep := 0; rep < reps; rep++ {
+			r := sim.NewRand(int64(rep))
+			cfg := mac.Config{
+				Phy:                    phy.B11(),
+				Seed:                   int64(3000 + rep),
+				DisableImmediateAccess: disable,
+				Stations: []mac.StationConfig{
+					{Arrivals: traffic.TrainAtRate(5, 5e6, 1500, sim.Second)},
+					{Arrivals: traffic.Poisson(r, 4e6, 1500, 0, 2*sim.Second)},
+				},
+			}
+			res, err := mac.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps := res.ProbeFrames(0)
+			if len(ps) > 0 && ps[0].AccessDelay() == airtime {
+				hits++
+			}
+		}
+		return float64(hits) / reps
+	}
+	var std, abl float64
+	for i := 0; i < b.N; i++ {
+		std = instantFrac(false)
+		abl = instantFrac(true)
+	}
+	b.ReportMetric(std, "instant_frac_std")
+	b.ReportMetric(abl, "instant_frac_noIA")
+}
+
+// BenchmarkMACEngine measures raw simulator throughput: simulated
+// seconds of a loaded two-station scenario per wall-clock second.
+func BenchmarkMACEngine(b *testing.B) {
+	l := probe.Link{
+		Contenders: []probe.Flow{{RateBps: 4e6, Size: 1500}},
+		Seed:       7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probe.MeasureTrain(l, 100, 8e6, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

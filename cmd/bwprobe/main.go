@@ -1,0 +1,125 @@
+// Command bwprobe is the real-network probing tool: it sends UDP
+// probing trains (or packet pairs) and reports receiver-side dispersion
+// — the network-layer measurement of the paper's Appendix A, usable
+// over any path including live CSMA/CA links.
+//
+// Receiver:
+//
+//	bwprobe -recv -listen :9900 [-session 1] [-timeout 10s]
+//
+// Sender:
+//
+//	bwprobe -send HOST:9900 [-n 50] [-rate-mbps 5] [-size 1500] [-session 1] [-trains 1] [-mser 0]
+//
+// With -mser m > 0 the sender is expected to pair with a receiver whose
+// report is post-processed by the MSER-m correction; bwprobe -recv
+// prints both the raw estimate and, when a full train arrived, the
+// corrected one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"csmabw/internal/core"
+	"csmabw/internal/netprobe"
+)
+
+func main() {
+	recv := flag.Bool("recv", false, "run as receiver")
+	listen := flag.String("listen", ":9900", "receiver listen address")
+	send := flag.String("send", "", "sender: destination host:port")
+	n := flag.Int("n", 50, "packets per train")
+	rate := flag.Float64("rate-mbps", 5, "probing rate (Mb/s); 0 = back to back")
+	size := flag.Int("size", 1500, "datagram size (bytes)")
+	session := flag.Uint("session", 1, "session id")
+	trains := flag.Int("trains", 1, "number of trains to send/receive")
+	gapMs := flag.Float64("train-gap-ms", 200, "pause between trains (sender)")
+	timeout := flag.Duration("timeout", 10*time.Second, "receiver timeout per train")
+	mser := flag.Int("mser", 2, "MSER batch size for the corrected estimate (0 = off)")
+	flag.Parse()
+
+	switch {
+	case *recv:
+		runReceiver(*listen, uint32(*session), *trains, *timeout, *mser)
+	case *send != "":
+		runSender(*send, *n, *rate, *size, uint32(*session), *trains, *gapMs)
+	default:
+		fmt.Fprintln(os.Stderr, "need -recv or -send HOST:PORT")
+		os.Exit(2)
+	}
+}
+
+func runSender(dst string, n int, rateMbps float64, size int, session uint32, trains int, gapMs float64) {
+	conn, err := net.Dial("udp", dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	s := netprobe.NewSender(conn)
+	var gap time.Duration
+	if rateMbps > 0 {
+		gap = time.Duration(float64(size*8) / (rateMbps * 1e6) * float64(time.Second))
+	}
+	for t := 0; t < trains; t++ {
+		spec := netprobe.TrainSpec{N: n, Gap: gap, Size: size, Session: session + uint32(t)}
+		stamps, err := s.SendTrain(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		elapsed := stamps[len(stamps)-1].Sub(stamps[0])
+		fmt.Printf("train %d: sent %d x %dB, gI=%v, span=%v\n",
+			t+1, len(stamps), size, gap, elapsed)
+		if t+1 < trains {
+			time.Sleep(time.Duration(gapMs * float64(time.Millisecond)))
+		}
+	}
+}
+
+func runReceiver(listen string, session uint32, trains int, timeout time.Duration, mser int) {
+	pc, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pc.Close()
+	r := netprobe.NewReceiver(pc)
+	fmt.Printf("listening on %s\n", pc.LocalAddr())
+	for t := 0; t < trains; t++ {
+		rep, err := r.ReceiveTrain(session+uint32(t), time.Now().Add(timeout))
+		if err != nil && err != netprobe.ErrTimeout {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		status := "complete"
+		if err == netprobe.ErrTimeout {
+			status = "timeout"
+		}
+		fmt.Printf("train %d (%s): %d/%d packets, gO=%v, rate=%.3f Mb/s\n",
+			t+1, status, rep.Received, rep.Expected, rep.OutputGap, rep.RateBps/1e6)
+		if mser > 0 && rep.Received >= 4 {
+			var deps []float64
+			for _, at := range rep.Arrivals {
+				if !at.IsZero() {
+					deps = append(deps, float64(at.UnixNano())/1e9)
+				}
+			}
+			gaps := core.Gaps(deps)
+			corrected := core.CorrectedRate(payloadOf(rep), gaps, mser)
+			fmt.Printf("          MSER-%d corrected rate=%.3f Mb/s\n", mser, corrected/1e6)
+		}
+	}
+}
+
+// payloadOf recovers the datagram size from the report's rate/gap pair.
+func payloadOf(rep *netprobe.Report) int {
+	if rep.OutputGap > 0 && rep.RateBps > 0 {
+		return int(rep.RateBps * rep.OutputGap.Seconds() / 8)
+	}
+	return 1500
+}

@@ -1,0 +1,163 @@
+// Command dcfsim runs an arbitrary single-BSS IEEE 802.11 DCF scenario
+// on the discrete-event MAC engine and prints per-station statistics:
+// carried throughput, delays, collision and drop counts. It is the
+// general-purpose front end to the simulator the figure experiments are
+// built on.
+//
+// Stations are described with -station flags (repeatable):
+//
+//	dcfsim -duration 5 \
+//	       -station poisson:4:1500 \
+//	       -station cbr:2:576 \
+//	       -station poisson:0.5:40
+//
+// Each spec is kind:rateMbps:sizeBytes with kind "poisson" or "cbr".
+//
+// Flags -phy (b11|b11short|g54), -rts (RTS/CTS threshold in bytes) and
+// -seed complete the scenario.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"csmabw/internal/mac"
+	"csmabw/internal/phy"
+	"csmabw/internal/sim"
+	"csmabw/internal/stats"
+	"csmabw/internal/trace"
+	"csmabw/internal/traffic"
+)
+
+type stationSpecs []string
+
+func (s *stationSpecs) String() string { return strings.Join(*s, " ") }
+func (s *stationSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func parseStation(spec string, r *sim.Rand, end sim.Time) ([]traffic.Arrival, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("station spec %q: want kind:rateMbps:size", spec)
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || rate <= 0 {
+		return nil, fmt.Errorf("station spec %q: bad rate", spec)
+	}
+	size, err := strconv.Atoi(parts[2])
+	if err != nil || size <= 0 {
+		return nil, fmt.Errorf("station spec %q: bad size", spec)
+	}
+	switch parts[0] {
+	case "poisson":
+		return traffic.Poisson(r, rate*1e6, size, 0, end), nil
+	case "cbr":
+		return traffic.CBR(rate*1e6, size, 0, end), nil
+	}
+	return nil, fmt.Errorf("station spec %q: unknown kind %q", spec, parts[0])
+}
+
+func phyFor(name string) (phy.Params, error) {
+	switch name {
+	case "b11":
+		return phy.B11(), nil
+	case "b11short":
+		return phy.B11Short(), nil
+	case "g54":
+		return phy.G54(), nil
+	}
+	return phy.Params{}, fmt.Errorf("unknown PHY %q (b11|b11short|g54)", name)
+}
+
+func main() {
+	var specs stationSpecs
+	flag.Var(&specs, "station", "station spec kind:rateMbps:size (repeatable)")
+	phyName := flag.String("phy", "b11", "PHY profile: b11, b11short or g54")
+	duration := flag.Float64("duration", 5, "simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	rts := flag.Int("rts", 0, "RTS/CTS threshold in bytes (0 = off)")
+	tracePath := flag.String("trace", "", "write a binary channel-event trace to this file")
+	flag.Parse()
+
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "need at least one -station spec")
+		os.Exit(2)
+	}
+	p, err := phyFor(*phyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	end := sim.FromSeconds(*duration)
+	r := sim.NewRand(*seed)
+	cfg := mac.Config{Phy: p, Seed: *seed, Horizon: end, RTSThreshold: *rts}
+	for i, spec := range specs {
+		arr, err := parseStation(spec, r.Split(uint64(i)+1), end)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Stations = append(cfg.Stations, mac.StationConfig{
+			Name: fmt.Sprintf("sta%d(%s)", i, spec), Arrivals: arr,
+		})
+	}
+	var tw *trace.Writer
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tw = trace.NewWriter(traceFile)
+		hook, _ := tw.Hook()
+		cfg.OnEvent = hook
+	}
+	res, err := mac.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d events to %s\n", tw.Events(), *tracePath)
+	}
+
+	fmt.Printf("PHY %s, %d stations, %.1fs simulated (RTS threshold %d)\n\n",
+		p.Name, len(cfg.Stations), *duration, *rts)
+	fmt.Printf("%-26s %10s %9s %9s %7s %7s %10s %10s\n",
+		"station", "thru(Mb/s)", "delivered", "attempts", "coll", "drops",
+		"mean acc(ms)", "p95 acc(ms)")
+	var agg float64
+	for i := range cfg.Stations {
+		st := res.Stats[i]
+		thr := res.Throughput(i, 0, end)
+		agg += thr
+		var acc []float64
+		for _, f := range res.Frames[i] {
+			acc = append(acc, f.AccessDelay().Seconds()*1e3)
+		}
+		mean, p95 := 0.0, 0.0
+		if len(acc) > 0 {
+			mean = stats.Mean(acc)
+			p95 = stats.Quantile(acc, 0.95)
+		}
+		fmt.Printf("%-26s %10.3f %9d %9d %7d %7d %10.3f %10.3f\n",
+			cfg.Stations[i].Name, thr/1e6, st.Delivered, st.Attempts,
+			st.Collisions, st.Dropped, mean, p95)
+	}
+	fmt.Printf("\naggregate: %.3f Mb/s (single-station envelope %.3f Mb/s)\n",
+		agg/1e6, p.MaxThroughput(1500)/1e6)
+}

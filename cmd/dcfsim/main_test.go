@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"csmabw/internal/sim"
+)
+
+func TestParseStation(t *testing.T) {
+	r := sim.NewRand(1)
+	end := sim.Second
+
+	arr, err := parseStation("cbr:2:1500", r, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2e6/(1500*8) ~ 166.7 packets/s over 1s; the CBR generator emits a
+	// packet at t=0, so the count rounds up.
+	if len(arr) != 167 {
+		t.Errorf("cbr packets = %d, want 167", len(arr))
+	}
+
+	arr, err = parseStation("poisson:4:576", r, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Error("poisson produced nothing")
+	}
+	for _, a := range arr {
+		if a.Size != 576 {
+			t.Fatalf("size %d", a.Size)
+		}
+	}
+}
+
+func TestParseStationErrors(t *testing.T) {
+	r := sim.NewRand(1)
+	bad := []struct {
+		spec string
+		frag string
+	}{
+		{"cbr:2", "kind:rateMbps:size"},
+		{"cbr:x:1500", "bad rate"},
+		{"cbr:0:1500", "bad rate"},
+		{"cbr:2:zero", "bad size"},
+		{"cbr:2:-5", "bad size"},
+		{"warp:2:1500", "unknown kind"},
+	}
+	for _, tt := range bad {
+		_, err := parseStation(tt.spec, r, sim.Second)
+		if err == nil {
+			t.Errorf("%q accepted", tt.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("%q: error %q lacks %q", tt.spec, err, tt.frag)
+		}
+	}
+}
+
+func TestPhyFor(t *testing.T) {
+	for _, name := range []string{"b11", "b11short", "g54"} {
+		p, err := phyFor(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Validate() != nil {
+			t.Errorf("%s: invalid params", name)
+		}
+	}
+	if _, err := phyFor("n600"); err == nil {
+		t.Error("unknown PHY accepted")
+	}
+}

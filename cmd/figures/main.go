@@ -1,0 +1,78 @@
+// Command figures regenerates every figure of the paper's evaluation
+// and writes one CSV per figure, printing a text table of each to
+// stdout. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	figures [-scale tiny|default|paper] [-only fig01,fig08] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"csmabw/internal/experiments"
+)
+
+func scaleFor(name string) (experiments.Scale, error) {
+	switch name {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "default":
+		return experiments.Default(), nil
+	case "paper":
+		return experiments.Paper(), nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q (tiny|default|paper)", name)
+}
+
+func main() {
+	scaleName := flag.String("scale", "default", "experiment scale: tiny, default or paper")
+	only := flag.String("only", "", "comma-separated figure ids to run (default: all)")
+	out := flag.String("out", "figures-out", "directory for CSV output")
+	flag.Parse()
+
+	sc, err := scaleFor(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, entry := range experiments.Registry() {
+		if len(want) > 0 && !want[entry.ID] {
+			continue
+		}
+		start := time.Now()
+		fig, err := entry.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", entry.ID, err)
+			failed = true
+			continue
+		}
+		path := filepath.Join(*out, fig.ID+".csv")
+		if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: write: %v\n", entry.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s  (%.1fs, wrote %s)\n\n", fig.Table(), time.Since(start).Seconds(), path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Command mser demonstrates the MSER-based transient correction of
+// Section 7.4 (Figure 17 of the paper): the rate response inferred from
+// short trains approaches the steady-state curve once the packets the
+// MSER-m heuristic marks as warm-up are discarded.
+//
+// Usage:
+//
+//	mser [-train N] [-batch M] [-reps N] [-cross MBPS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csmabw/internal/experiments"
+)
+
+func main() {
+	train := flag.Int("train", 20, "train length (paper: 20)")
+	batch := flag.Int("batch", 2, "MSER batch size m (paper: 2)")
+	reps := flag.Int("reps", 200, "replications per point")
+	cross := flag.Float64("cross", 4, "contending cross-traffic (Mb/s)")
+	points := flag.Int("points", 10, "sweep points")
+	seconds := flag.Float64("seconds", 2, "steady-state duration per point")
+	seed := flag.Int64("seed", 17, "random seed")
+	flag.Parse()
+
+	p := experiments.Fig17Params{
+		TrainLen:      *train,
+		MSERBatch:     *batch,
+		ContendingBps: *cross * 1e6,
+		PacketSize:    1500,
+		MaxProbeBps:   10e6,
+		Seed:          *seed,
+	}
+	sc := experiments.Scale{Reps: *reps, SweepPoints: *points, SteadySeconds: *seconds}
+	fig, err := experiments.Fig17MSER(p, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Table())
+}

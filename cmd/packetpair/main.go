@@ -1,0 +1,48 @@
+// Command packetpair compares packet-pair bandwidth inference against
+// the actual achievable throughput across cross-traffic levels
+// (Figure 16 of the paper): on a CSMA/CA link the pair tracks — and
+// overestimates — achievable throughput rather than capacity.
+//
+// Usage:
+//
+//	packetpair [-reps N] [-max MBPS] [-step MBPS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csmabw/internal/experiments"
+)
+
+func main() {
+	reps := flag.Int("reps", 200, "packet pairs per cross-traffic level")
+	maxCross := flag.Float64("max", 10, "maximum cross-traffic rate (Mb/s)")
+	step := flag.Float64("step", 1, "cross-traffic sweep step (Mb/s)")
+	seconds := flag.Float64("seconds", 2, "steady-state duration per point")
+	seed := flag.Int64("seed", 16, "random seed")
+	flag.Parse()
+
+	if *step <= 0 || *maxCross < 0 {
+		fmt.Fprintln(os.Stderr, "need -step > 0 and -max >= 0")
+		os.Exit(2)
+	}
+	var rates []float64
+	for r := 0.0; r <= *maxCross*1e6+1; r += *step * 1e6 {
+		rates = append(rates, r)
+	}
+	p := experiments.Fig16Params{
+		CrossRates:  rates,
+		PacketSize:  1500,
+		SaturateBps: 12e6,
+		Seed:        *seed,
+	}
+	sc := experiments.Scale{Reps: *reps, SweepPoints: 2, SteadySeconds: *seconds}
+	fig, err := experiments.Fig16PacketPair(p, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Table())
+}

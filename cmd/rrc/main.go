@@ -1,0 +1,57 @@
+// Command rrc measures the steady-state rate response curve of a
+// simulated CSMA/CA link (Figures 1 and 4 of the paper).
+//
+// Usage:
+//
+//	rrc [-cross MBPS] [-fifo MBPS] [-max MBPS] [-points N] [-seconds S] [-seed N]
+//
+// With -fifo 0 it reproduces Figure 1 (contending cross-traffic only);
+// with -fifo > 0 it reproduces Figure 4 (the complete picture).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csmabw/internal/experiments"
+)
+
+func main() {
+	cross := flag.Float64("cross", 4.5, "contending cross-traffic rate (Mb/s)")
+	fifo := flag.Float64("fifo", 0, "FIFO cross-traffic rate sharing the probe queue (Mb/s)")
+	maxRate := flag.Float64("max", 10, "top of the probing-rate sweep (Mb/s)")
+	points := flag.Int("points", 20, "sweep points")
+	seconds := flag.Float64("seconds", 2, "steady-state measurement duration per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sc := experiments.Scale{Reps: 1, SweepPoints: *points, SteadySeconds: *seconds}
+	var (
+		fig *experiments.Figure
+		err error
+	)
+	if *fifo > 0 {
+		p := experiments.Fig4Params{
+			FIFOCrossBps:  *fifo * 1e6,
+			ContendingBps: *cross * 1e6,
+			PacketSize:    1500,
+			MaxProbeBps:   *maxRate * 1e6,
+			Seed:          *seed,
+		}
+		fig, err = experiments.Fig4CompleteRRC(p, sc)
+	} else {
+		p := experiments.Fig1Params{
+			CrossRateBps: *cross * 1e6,
+			PacketSize:   1500,
+			MaxProbeBps:  *maxRate * 1e6,
+			Seed:         *seed,
+		}
+		fig, err = experiments.Fig1SteadyStateRRC(p, sc)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Table())
+}

@@ -1,0 +1,59 @@
+// Command trains measures the dispersion-inferred rate response of
+// short probing trains against the steady-state curve (Figures 13 and
+// 15 of the paper). Short trains deviate below the steady curve near
+// the knee and overestimate achievable throughput when probing fast.
+//
+// Usage:
+//
+//	trains [-lens 3,10,50] [-cross MBPS] [-fifo MBPS] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"csmabw/internal/experiments"
+)
+
+func main() {
+	lens := flag.String("lens", "3,10,50", "train lengths")
+	cross := flag.Float64("cross", 4, "contending cross-traffic (Mb/s)")
+	fifo := flag.Float64("fifo", 0, "FIFO cross-traffic (Mb/s); 0 = Figure 13, >0 = Figure 15")
+	reps := flag.Int("reps", 200, "replications per point")
+	points := flag.Int("points", 20, "sweep points")
+	seconds := flag.Float64("seconds", 2, "steady-state duration per point")
+	seed := flag.Int64("seed", 13, "random seed")
+	flag.Parse()
+
+	var trainLens []int
+	for _, part := range strings.Split(*lens, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "bad -lens entry %q\n", part)
+			os.Exit(2)
+		}
+		trainLens = append(trainLens, n)
+	}
+	p := experiments.TrainRRCParams{
+		TrainLens:     trainLens,
+		ContendingBps: *cross * 1e6,
+		FIFOCrossBps:  *fifo * 1e6,
+		PacketSize:    1500,
+		MaxProbeBps:   10e6,
+		Seed:          *seed,
+	}
+	id := "fig13"
+	if *fifo > 0 {
+		id = "fig15"
+	}
+	sc := experiments.Scale{Reps: *reps, SweepPoints: *points, SteadySeconds: *seconds}
+	fig, err := experiments.TrainRRC(id, p, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Table())
+}

@@ -1,0 +1,68 @@
+// Command transient analyses the access-delay transient of a probing
+// train over a CSMA/CA link (Figures 6-9 of the paper): per-index mean
+// access delay, first-vs-late histograms, and the per-index KS test
+// against the steady-state distribution.
+//
+// Usage:
+//
+//	transient [-fig 6|7|8|9] [-reps N] [-train N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csmabw/internal/experiments"
+)
+
+func main() {
+	figNum := flag.Int("fig", 6, "figure to reproduce: 6, 7, 8 or 9")
+	reps := flag.Int("reps", 400, "replications")
+	train := flag.Int("train", 0, "override train length (0 = paper default)")
+	seed := flag.Int64("seed", 0, "override seed (0 = paper default)")
+	flag.Parse()
+
+	sc := experiments.Scale{Reps: *reps, SweepPoints: 2, SteadySeconds: 1}
+	var (
+		fig *experiments.Figure
+		err error
+	)
+	switch *figNum {
+	case 6:
+		p := experiments.DefaultFig6()
+		override(&p, *train, *seed)
+		fig, err = experiments.Fig6MeanAccessDelay(p, sc, 150)
+	case 7:
+		p := experiments.DefaultFig6()
+		override(&p, *train, *seed)
+		fig, err = experiments.Fig7Histograms(p, sc, p.TrainLen/2, 30)
+	case 8:
+		p := experiments.DefaultFig8()
+		override(&p, *train, *seed)
+		fig, err = experiments.FigKS("fig08", p, sc, experiments.DefaultKSOptions(p.TrainLen))
+	case 9:
+		p := experiments.DefaultFig9()
+		override(&p, *train, *seed)
+		opt := experiments.DefaultKSOptions(p.TrainLen)
+		opt.Packets = 50
+		fig, err = experiments.FigKS("fig09", p, sc, opt)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (want 6-9)\n", *figNum)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Table())
+}
+
+func override(p *experiments.TransientParams, train int, seed int64) {
+	if train > 0 {
+		p.TrainLen = train
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+}

@@ -1,0 +1,67 @@
+// Command transitory estimates the duration of the access-delay
+// transient as a function of the offered cross-traffic load (Figure 10
+// of the paper): probing at 1 Erlang against a sweep of cross loads,
+// reporting the first packet index whose mean access delay stays within
+// each tolerance of the steady-state value.
+//
+// Usage:
+//
+//	transitory [-reps N] [-train N] [-loads 0.1,0.5,1.0] [-tols 0.1,0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"csmabw/internal/experiments"
+)
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	reps := flag.Int("reps", 300, "replications per load point")
+	train := flag.Int("train", 500, "train length (packets)")
+	loads := flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered cross loads (Erlangs)")
+	tols := flag.String("tols", "0.1,0.01", "tolerances")
+	seed := flag.Int64("seed", 10, "random seed")
+	flag.Parse()
+
+	loadVals, err := parseFloats(*loads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -loads: %v\n", err)
+		os.Exit(2)
+	}
+	tolVals, err := parseFloats(*tols)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -tols: %v\n", err)
+		os.Exit(2)
+	}
+	p := experiments.Fig10Params{
+		ProbeLoadErlang: 1.0,
+		CrossLoads:      loadVals,
+		PacketSize:      1500,
+		TrainLen:        *train,
+		Tolerances:      tolVals,
+		Seed:            *seed,
+	}
+	sc := experiments.Scale{Reps: *reps, SweepPoints: 2, SteadySeconds: 1}
+	fig, err := experiments.Fig10TransientDuration(p, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Table())
+}

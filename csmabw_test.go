@@ -1,0 +1,206 @@
+package csmabw
+
+import (
+	"math"
+	"testing"
+
+	"csmabw/internal/sim"
+)
+
+func TestMeasureAchievableThroughputNoCross(t *testing.T) {
+	// Idle channel: B approaches the link capacity.
+	l := Link{Seed: 1, WarmUp: 50 * sim.Millisecond}
+	b, err := MeasureAchievableThroughput(l, AchievableOptions{Points: 8, Duration: 500 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := PHY80211b().MaxThroughput(1500)
+	if b < 0.75*c || b > 1.1*c {
+		t.Errorf("B = %.2f Mb/s on idle channel, capacity %.2f", b/1e6, c/1e6)
+	}
+}
+
+func TestMeasureAchievableThroughputWithContender(t *testing.T) {
+	// A contender at 4 Mb/s pushes B down toward the fair share, well
+	// below the idle-channel value.
+	busy := Link{
+		Seed:       2,
+		WarmUp:     50 * sim.Millisecond,
+		Contenders: []Flow{{RateBps: 4e6, Size: 1500}},
+	}
+	b, err := MeasureAchievableThroughput(busy, AchievableOptions{Points: 8, Duration: 500 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := PHY80211b().MaxThroughput(1500)
+	if b >= 0.75*c {
+		t.Errorf("B = %.2f Mb/s with a 4 Mb/s contender, expected well below capacity %.2f", b/1e6, c/1e6)
+	}
+	if b < 1e6 {
+		t.Errorf("B = %.2f Mb/s implausibly low", b/1e6)
+	}
+}
+
+func TestMeasureAchievableThroughputOptions(t *testing.T) {
+	l := Link{Seed: 3, WarmUp: 50 * sim.Millisecond}
+	if _, err := MeasureAchievableThroughput(l, AchievableOptions{MinBps: 5e6, MaxBps: 1e6}); err == nil {
+		t.Error("inverted sweep accepted")
+	}
+}
+
+func TestCorrectedTrainRate(t *testing.T) {
+	l := Link{
+		Seed:       4,
+		WarmUp:     50 * sim.Millisecond,
+		Contenders: []Flow{{RateBps: 4e6, Size: 1500}},
+	}
+	raw, corrected, err := CorrectedTrainRate(l, 20, 8e6, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw <= 0 || corrected <= 0 {
+		t.Fatalf("raw %g corrected %g", raw, corrected)
+	}
+	// The transient accelerates early packets, so the raw estimate is
+	// biased high; the corrected one should not exceed it.
+	if corrected > raw*1.05 {
+		t.Errorf("corrected %.2f Mb/s above raw %.2f", corrected/1e6, raw/1e6)
+	}
+}
+
+func TestPredictors(t *testing.T) {
+	if got := PredictAchievable(4e6, 0.25); got != 3e6 {
+		t.Errorf("PredictAchievable = %g", got)
+	}
+	if got := PredictRateResponse(1e6, 4e6, 0.25); got != 1e6 {
+		t.Errorf("identity region = %g", got)
+	}
+	if got := PredictRateResponse(100e6, 4e6, 0.25); math.Abs(got-4e6) > 0.05e6 {
+		t.Errorf("saturation = %g, want ~Bf", got)
+	}
+}
+
+func TestMeasureRateResponseCurve(t *testing.T) {
+	l := Link{
+		Seed:       6,
+		WarmUp:     50 * sim.Millisecond,
+		Contenders: []Flow{{RateBps: 4e6, Size: 1500}},
+	}
+	curve, err := MeasureRateResponseCurve(l, AchievableOptions{
+		Points: 10, Duration: 500 * sim.Millisecond, MaxBps: 10e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.RI) != 10 || len(curve.RO) != 10 {
+		t.Fatalf("curve size %d/%d", len(curve.RI), len(curve.RO))
+	}
+	// Identity at the bottom, plateau at the top.
+	if math.Abs(curve.RO[0]-curve.RI[0]) > 0.2*curve.RI[0] {
+		t.Errorf("first point (%.2g, %.2g) not near identity", curve.RI[0], curve.RO[0])
+	}
+	cf, err := curve.FitCSMA(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.B < 2e6 || cf.B > 4.5e6 {
+		t.Errorf("fitted B = %.2f Mb/s outside fair-share band", cf.B/1e6)
+	}
+	ff, err := curve.FitFIFO(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Section 7.2 effect: the FIFO fit's A chases B.
+	if math.Abs(ff.A-cf.B) > 0.5*cf.B {
+		t.Errorf("FIFO-fit A %.2f should be near B %.2f on a CSMA link", ff.A/1e6, cf.B/1e6)
+	}
+	fifoRMSE, csmaRMSE, err := curve.CompareModels(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifoRMSE < 0 || csmaRMSE < 0 {
+		t.Error("negative RMSE")
+	}
+}
+
+func TestMeasureRateResponseCurveBadOpts(t *testing.T) {
+	l := Link{Seed: 1}
+	if _, err := MeasureRateResponseCurve(l, AchievableOptions{MinBps: 2e6, MaxBps: 1e6}); err == nil {
+		t.Error("inverted sweep accepted")
+	}
+}
+
+func TestPredictFairShare(t *testing.T) {
+	bf, err := PredictFairShare(PHY80211b(), 2, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two saturated stations split ~C between them; the Bianchi
+	// prediction must land near half the single-station envelope.
+	half := PHY80211b().MaxThroughput(1500) / 2
+	if math.Abs(bf-half) > 0.2*half {
+		t.Errorf("predicted fair share %.2f Mb/s, expected near %.2f", bf/1e6, half/1e6)
+	}
+	if _, err := PredictFairShare(PHY80211b(), 0, 1500); err == nil {
+		t.Error("zero stations accepted")
+	}
+}
+
+// The model-vs-measurement loop: Bianchi's fair share prediction agrees
+// with the achievable throughput measured against a saturated contender.
+func TestPredictFairShareMatchesMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement comparison skipped in -short mode")
+	}
+	l := Link{
+		Seed:       77,
+		WarmUp:     50 * sim.Millisecond,
+		Contenders: []Flow{{RateBps: 12e6, Size: 1500}}, // saturated contender
+	}
+	measured, err := MeasureAchievableThroughput(l, AchievableOptions{
+		Points: 10, Duration: sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := PredictFairShare(PHY80211b(), 2, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(measured-predicted) / predicted; rel > 0.25 {
+		t.Errorf("measured B %.2f vs Bianchi fair share %.2f (%.0f%% apart)",
+			measured/1e6, predicted/1e6, rel*100)
+	}
+}
+
+func TestFacadeTypesUsable(t *testing.T) {
+	// The aliases must compose into a full measurement without importing
+	// internal packages.
+	l := Link{
+		Phy:       PHY80211bShort(),
+		ProbeSize: 1000,
+		Seed:      5,
+		WarmUp:    50 * sim.Millisecond,
+	}
+	ts, err := MeasureTrain(l, 10, 2e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.RateEstimate() <= 0 {
+		t.Error("no rate estimate")
+	}
+	pair, err := MeasurePacketPair(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair <= 0 {
+		t.Error("no pair estimate")
+	}
+	ss, err := MeasureSteadyState(l, 1e6, 500*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ss.ProbeRate-1e6) > 0.2e6 {
+		t.Errorf("steady ro = %.2f Mb/s", ss.ProbeRate/1e6)
+	}
+}

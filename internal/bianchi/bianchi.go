@@ -1,0 +1,97 @@
+// Package bianchi implements Bianchi's analytical model of IEEE 802.11
+// DCF saturation behaviour ("Performance Analysis of the IEEE 802.11
+// Distributed Coordination Function", IEEE JSAC 2000 — reference [8] of
+// the reproduced paper, and the standard yardstick for validating DCF
+// simulators).
+//
+// The model gives, for n saturated stations, the per-slot transmission
+// probability τ and conditional collision probability p as the solution
+// of a fixed point, and from them the saturation throughput. The test
+// suite uses it to validate the discrete-event MAC engine the
+// reproduction's experiments run on.
+package bianchi
+
+import (
+	"fmt"
+	"math"
+
+	"csmabw/internal/phy"
+)
+
+// Solution is the fixed point of Bianchi's two equations.
+type Solution struct {
+	N   int     // saturated stations
+	Tau float64 // per-slot transmission probability of one station
+	P   float64 // conditional collision probability seen by a station
+}
+
+// Solve computes the fixed point for n stations with minimum window
+// W = CWMin+1 and m backoff stages (CWMax = 2^m * (CWMin+1) - 1),
+// using bisection on p (the map is monotone).
+func Solve(n int, cwMin, cwMax int) (Solution, error) {
+	if n < 1 {
+		return Solution{}, fmt.Errorf("bianchi: n = %d", n)
+	}
+	if cwMin < 1 || cwMax < cwMin {
+		return Solution{}, fmt.Errorf("bianchi: CW = [%d, %d]", cwMin, cwMax)
+	}
+	w := float64(cwMin + 1)
+	m := math.Round(math.Log2(float64(cwMax+1) / float64(cwMin+1)))
+	if m < 0 {
+		m = 0
+	}
+
+	tauOf := func(p float64) float64 {
+		if p == 0.5 {
+			// The closed form has a removable singularity at p = 1/2.
+			p += 1e-12
+		}
+		num := 2 * (1 - 2*p)
+		den := (1-2*p)*(w+1) + p*w*(1-math.Pow(2*p, m))
+		return num / den
+	}
+	// Fixed point: p = 1 - (1 - tau(p))^(n-1). f(p) = p - (1-(1-tau)^(n-1))
+	// is increasing in p on [0,1).
+	f := func(p float64) float64 {
+		tau := tauOf(p)
+		return p - (1 - math.Pow(1-tau, float64(n-1)))
+	}
+	lo, hi := 0.0, 0.999999
+	if f(lo) > 0 || f(hi) < 0 {
+		return Solution{}, fmt.Errorf("bianchi: no fixed point bracket for n=%d", n)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	p := (lo + hi) / 2
+	return Solution{N: n, Tau: tauOf(p), P: p}, nil
+}
+
+// Throughput evaluates Bianchi's saturation throughput (bit/s of
+// payload) for the solution over the given PHY with fixed payload
+// bytes, using the basic-access (no RTS/CTS) slot accounting:
+//
+//	S = Ps*Ptr*E[payload] / ((1-Ptr)*slot + Ptr*Ps*Ts + Ptr*(1-Ps)*Tc)
+func (s Solution) Throughput(p phy.Params, payload int) float64 {
+	n := float64(s.N)
+	ptr := 1 - math.Pow(1-s.Tau, n)                // some station transmits
+	ps := n * s.Tau * math.Pow(1-s.Tau, n-1) / ptr // exactly one does
+	ts := (p.SuccessExchangeTime(payload) + p.DIFS).Seconds()
+	tc := (p.DataTxTime(payload) + p.EIFS()).Seconds()
+	slot := p.Slot.Seconds()
+	den := (1-ptr)*slot + ptr*ps*ts + ptr*(1-ps)*tc
+	if den <= 0 {
+		return 0
+	}
+	return ps * ptr * float64(payload*8) / den
+}
+
+// CollisionProbability is the conditional collision probability p —
+// directly comparable with the MAC engine's collisions/attempts ratio
+// under saturation.
+func (s Solution) CollisionProbability() float64 { return s.P }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DispersionBounds is the transient-aware envelope on the expected
+// output gap E[gO] of an n-packet probing train (Section 6). All times
+// are seconds.
+type DispersionBounds struct {
+	GI    float64 // input gap, seconds
+	Lower float64 // lower bound on E[gO], seconds
+	Upper float64 // upper bound on E[gO], seconds
+}
+
+// meanRange returns (1/(n-1)) * sum of mu[from:to] (to exclusive).
+func meanRange(mu []float64, from, to int) float64 {
+	s := 0.0
+	for i := from; i < to; i++ {
+		s += mu[i]
+	}
+	return s / float64(len(mu)-1)
+}
+
+// checkMu validates a per-index expected access delay profile.
+func checkMu(mu []float64) {
+	if len(mu) < 2 {
+		panic(fmt.Sprintf("core: need at least 2 access delays, got %d", len(mu)))
+	}
+	for i, m := range mu {
+		if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			panic(fmt.Sprintf("core: invalid access delay mu[%d] = %g", i, m))
+		}
+	}
+}
+
+// BoundsNoFIFO evaluates Eqs. (33) and (34): the envelope on E[gO] for a
+// system *without* FIFO cross-traffic, given the per-index expected
+// access delays mu[0..n-1] (mu[i] = E[mu_{i+1}] in paper numbering) and
+// the input gap gI. In this case κ(n) = (E[mu_n]-E[mu_1])/(n-1).
+func BoundsNoFIFO(gI float64, mu []float64) DispersionBounds {
+	checkMu(mu)
+	if gI < 0 {
+		panic(fmt.Sprintf("core: negative input gap %g", gI))
+	}
+	n := len(mu)
+	kappa := (mu[n-1] - mu[0]) / float64(n-1)
+	head := meanRange(mu, 0, n-1) // (1/(n-1)) sum_{i=1}^{n-1} E[mu_i]
+	tail := meanRange(mu, 1, n)   // (1/(n-1)) sum_{i=2}^{n}   E[mu_i]
+
+	var lo float64
+	if gI >= head {
+		lo = gI + kappa
+	} else {
+		lo = tail
+	}
+	var hi float64
+	if gI >= tail {
+		hi = gI
+	} else {
+		hi = tail
+	}
+	// Note: in the slow-probing region the paper's lower bound gI + κ(n)
+	// exceeds its upper bound gI by the O(1/n) transient term — that
+	// crossing *is* the Section 6.2.2 observation that short trains
+	// deviate above the steady-state curve. The bounds are reported
+	// verbatim; callers interested in a consistent interval should treat
+	// κ(n) as the deviation magnitude.
+	return DispersionBounds{GI: gI, Lower: lo, Upper: hi}
+}
+
+// BoundsComplete evaluates Eqs. (29) and (30): the envelope on E[gO]
+// with FIFO cross-traffic of mean utilisation ufifo and transient term
+// kappa (from Kappa). mu[i] is E[mu_{i+1}] in seconds.
+func BoundsComplete(gI float64, mu []float64, ufifo, kappa float64) DispersionBounds {
+	checkMu(mu)
+	checkUtil(ufifo)
+	if gI < 0 {
+		panic(fmt.Sprintf("core: negative input gap %g", gI))
+	}
+	n := len(mu)
+	head := meanRange(mu, 0, n-1) // sum_{1}^{n-1} / (n-1)
+	tail := meanRange(mu, 1, n)   // sum_{2}^{n}   / (n-1)
+
+	// Lower bound, Eq. (29): two regions split at
+	// gI* = (tail - kappa)/(1 - ufifo).
+	var lo float64
+	split := (tail - kappa) / (1 - ufifo)
+	if gI >= split {
+		lo = gI + kappa
+	} else {
+		lo = tail + ufifo*gI
+	}
+
+	// Upper bound, Eq. (30): three regions.
+	var hi float64
+	upperSplit := math.Inf(1)
+	if ufifo > 0 {
+		upperSplit = (head + kappa) / ufifo
+	}
+	switch {
+	case gI >= upperSplit:
+		hi = gI + head + kappa
+	case gI >= tail:
+		hi = (ufifo + 1) * gI
+	default:
+		hi = tail + ufifo*gI
+	}
+	return DispersionBounds{GI: gI, Lower: lo, Upper: hi}
+}
+
+// SteadyStateGap is the expected output gap of an infinitely long train
+// (pure Eq. 20 steady state): L/Bf + ufifo*gI when probing above the
+// achievable throughput, gI otherwise. l is payload bytes, bf the fair
+// share in bit/s.
+func SteadyStateGap(gI float64, l int, bf, ufifo float64) float64 {
+	checkUtil(ufifo)
+	if bf <= 0 {
+		panic(fmt.Sprintf("core: fair share %g must be positive", bf))
+	}
+	b := bf * (1 - ufifo)
+	lB := float64(l*8) / b
+	if gI >= lB {
+		return gI
+	}
+	return float64(l*8)/bf + ufifo*gI
+}
+
+// RateFromGap converts a dispersion measurement to a rate estimate:
+// L/gO in bit/s for packets of l payload bytes (the L/gI ~ ri,
+// L/gO ~ ro convention of Section 5.3).
+func RateFromGap(l int, gap float64) float64 {
+	if gap <= 0 {
+		panic(fmt.Sprintf("core: non-positive gap %g", gap))
+	}
+	return float64(l*8) / gap
+}
+
+// GapFromRate is the inverse of RateFromGap: gI = L/ri.
+func GapFromRate(l int, rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("core: non-positive rate %g", rate))
+	}
+	return float64(l*8) / rate
+}

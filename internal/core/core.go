@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: the
+// analytical characterisation of active bandwidth measurement over
+// CSMA/CA links.
+//
+// It provides:
+//
+//   - the steady-state rate response curves — the classical FIFO fluid
+//     model (Eq. 1), the contention-only CSMA/CA model (Eq. 3), and the
+//     paper's complete model combining FIFO cross-traffic with
+//     contending cross-traffic (Eqs. 4 and 5);
+//   - the achievable-throughput metric B = sup{ri : ro/ri = 1} (Eq. 2)
+//     and its expressions in terms of the access-delay process
+//     (Eqs. 31, 32, 36, 37);
+//   - the transient-aware bounds on the expected output dispersion of a
+//     finite probing train (Eqs. 21-34), which explain why short trains
+//     are biased;
+//   - the MSER-based measurement correction of Section 7.4, which
+//     truncates the transient from a dispersion sample without sending
+//     more packets.
+//
+// Rates are bit/s, packet sizes are payload bytes, and times are seconds
+// (the analysis layer works in continuous units; the simulators use
+// sim.Time).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"csmabw/internal/stats"
+)
+
+// RateResponseFIFO is the fluid rate response curve of a FIFO queue with
+// capacity C and available bandwidth A (Eq. 1):
+//
+//	ro = ri                      for ri <= A
+//	ro = C*ri/(ri + C - A)       for ri >= A
+func RateResponseFIFO(ri, c, a float64) float64 {
+	if c <= 0 {
+		panic(fmt.Sprintf("core: capacity %g must be positive", c))
+	}
+	if a < 0 || a > c {
+		panic(fmt.Sprintf("core: available bandwidth %g outside [0, C=%g]", a, c))
+	}
+	if ri <= 0 {
+		return 0
+	}
+	if ri <= a {
+		return ri
+	}
+	return c * ri / (ri + c - a)
+}
+
+// RateResponseCSMA is the contention-only rate response curve of an
+// IEEE 802.11 link (Eq. 3): ro = min(ri, B), where B is the achievable
+// throughput (the probing flow's fair share of the medium).
+func RateResponseCSMA(ri, b float64) float64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("core: achievable throughput %g must be positive", b))
+	}
+	return math.Min(ri, b)
+}
+
+// AchievableComplete is Eq. 5: the achievable throughput of the probing
+// flow when the station also carries FIFO cross-traffic with mean
+// utilisation ufifo, given the fair share Bf the station gets from the
+// medium: B = Bf * (1 - ufifo).
+func AchievableComplete(bf, ufifo float64) float64 {
+	checkUtil(ufifo)
+	if bf <= 0 {
+		panic(fmt.Sprintf("core: fair share %g must be positive", bf))
+	}
+	return bf * (1 - ufifo)
+}
+
+// RateResponseComplete is the paper's complete steady-state rate
+// response curve (Eq. 4): probing traffic shares the FIFO queue with
+// cross-traffic of utilisation ufifo and contends for a fair share Bf:
+//
+//	ro = ri                          for ri <= B = Bf(1-ufifo)
+//	ro = Bf*ri/(ri + ufifo*Bf)       for ri >= B
+func RateResponseComplete(ri, bf, ufifo float64) float64 {
+	b := AchievableComplete(bf, ufifo)
+	if ri <= 0 {
+		return 0
+	}
+	if ri <= b {
+		return ri
+	}
+	return bf * ri / (ri + ufifo*bf)
+}
+
+func checkUtil(u float64) {
+	if u < 0 || u >= 1 {
+		panic(fmt.Sprintf("core: utilisation %g outside [0, 1)", u))
+	}
+}
+
+// AchievableFromDelays is Eq. 31: with no FIFO cross-traffic, a train of
+// n packets of size l bytes cannot be carried faster, on average, than
+// L/B = (1/n) * sum E[mu_i]; mu holds the per-index expected access
+// delays in seconds. As n grows this converges to L/E[mu_n] (Eq. 32).
+func AchievableFromDelays(l int, mu []float64) float64 {
+	if len(mu) == 0 {
+		panic("core: no access delays")
+	}
+	mean := stats.Mean(mu)
+	if mean <= 0 {
+		panic(fmt.Sprintf("core: mean access delay %g must be positive", mean))
+	}
+	return float64(l*8) / mean
+}
+
+// AchievableFromDelaysFIFO is Eq. 36: the same metric when FIFO
+// cross-traffic keeps the queue busy a fraction ufifo of the time:
+// L/B = mean(E[mu_i]) / (1 - ufifo).
+func AchievableFromDelaysFIFO(l int, mu []float64, ufifo float64) float64 {
+	checkUtil(ufifo)
+	return AchievableFromDelays(l, mu) * (1 - ufifo)
+}
+
+// AchievableFromCurve is the defining Eq. 2 applied to an empirically
+// measured curve: B = sup{ri : ro/ri = 1}. The curve is given as
+// parallel slices of input rates and measured output rates; tol is the
+// relative slack allowed on ro/ri (measurement noise). It returns 0 when
+// no point satisfies the criterion.
+func AchievableFromCurve(ri, ro []float64, tol float64) float64 {
+	if len(ri) != len(ro) {
+		panic(fmt.Sprintf("core: curve length mismatch %d vs %d", len(ri), len(ro)))
+	}
+	if tol < 0 {
+		panic("core: negative tolerance")
+	}
+	b := 0.0
+	for i := range ri {
+		if ri[i] <= 0 {
+			continue
+		}
+		if ro[i]/ri[i] >= 1-tol && ri[i] > b {
+			b = ri[i]
+		}
+	}
+	return b
+}
+
+// Kappa is the κ(n) term of Eq. 21:
+//
+//	κ(n) = (E[W(a_n)] - E[W(a_1)])/(n-1) + (E[mu_n] - E[mu_1])/(n-1)
+//
+// wFirst/wLast are the expected cross-traffic workloads seen by the
+// first and last probe arrivals; muFirst/muLast the expected access
+// delays of the first and last packets. Without FIFO cross-traffic the
+// workload terms are zero and κ(n) reduces to the Section 6.2.2 form.
+func Kappa(n int, wFirst, wLast, muFirst, muLast float64) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("core: kappa needs n >= 2, got %d", n))
+	}
+	return (wLast-wFirst)/float64(n-1) + (muLast-muFirst)/float64(n-1)
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateResponseFIFO(t *testing.T) {
+	const c, a = 10e6, 4e6
+	tests := []struct{ ri, want float64 }{
+		{0, 0},
+		{2e6, 2e6},
+		{4e6, 4e6},                      // knee at A
+		{10e6, 10e6 * 10e6 / (16e6)},    // C*ri/(ri+C-A)
+		{100e6, 10e6 * 100e6 / (106e6)}, // approaches C
+	}
+	for _, tt := range tests {
+		if got := RateResponseFIFO(tt.ri, c, a); math.Abs(got-tt.want) > 1 {
+			t.Errorf("FIFO(%g) = %g, want %g", tt.ri, got, tt.want)
+		}
+	}
+}
+
+func TestRateResponseFIFOContinuityAtKnee(t *testing.T) {
+	const c, a = 6.5e6, 2e6
+	below := RateResponseFIFO(a-1, c, a)
+	above := RateResponseFIFO(a+1, c, a)
+	if math.Abs(below-above) > 10 {
+		t.Errorf("discontinuity at knee: %g vs %g", below, above)
+	}
+}
+
+func TestRateResponseFIFOApproachesCapacity(t *testing.T) {
+	got := RateResponseFIFO(1e12, 10e6, 2e6)
+	if got < 9.9e6 || got > 10e6 {
+		t.Errorf("limit = %g, want ~C", got)
+	}
+}
+
+func TestRateResponseFIFOPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero C": func() { RateResponseFIFO(1, 0, 0) },
+		"A > C":  func() { RateResponseFIFO(1, 5, 10) },
+		"neg A":  func() { RateResponseFIFO(1, 5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRateResponseCSMA(t *testing.T) {
+	if got := RateResponseCSMA(2e6, 3.4e6); got != 2e6 {
+		t.Errorf("below B: %g", got)
+	}
+	if got := RateResponseCSMA(8e6, 3.4e6); got != 3.4e6 {
+		t.Errorf("above B: %g", got)
+	}
+}
+
+func TestAchievableComplete(t *testing.T) {
+	if got := AchievableComplete(4e6, 0.25); got != 3e6 {
+		t.Errorf("B = %g, want 3e6", got)
+	}
+	if got := AchievableComplete(4e6, 0); got != 4e6 {
+		t.Errorf("no FIFO cross: B = %g, want Bf", got)
+	}
+}
+
+func TestRateResponseComplete(t *testing.T) {
+	const bf, u = 4e6, 0.25
+	b := AchievableComplete(bf, u)
+	// Identity region.
+	if got := RateResponseComplete(b/2, bf, u); got != b/2 {
+		t.Errorf("identity region: %g", got)
+	}
+	// At the knee both branches agree: Bf*B/(B+u*Bf) == B.
+	knee := RateResponseComplete(b, bf, u)
+	if math.Abs(knee-b) > 1 {
+		t.Errorf("knee value %g, want %g", knee, b)
+	}
+	// Saturation: ro -> Bf as ri -> inf.
+	if got := RateResponseComplete(1e12, bf, u); math.Abs(got-bf) > 0.01*bf {
+		t.Errorf("saturation %g, want ~Bf", got)
+	}
+	// Monotone non-decreasing in ri.
+	prev := 0.0
+	for ri := 0.0; ri < 20e6; ri += 1e5 {
+		ro := RateResponseComplete(ri, bf, u)
+		if ro < prev-1e-9 {
+			t.Fatalf("curve decreased at ri=%g", ri)
+		}
+		prev = ro
+	}
+}
+
+func TestRateResponseCompleteReducesToCSMA(t *testing.T) {
+	// With ufifo = 0 the complete curve is exactly min(ri, Bf).
+	for _, ri := range []float64{1e6, 3e6, 5e6, 20e6} {
+		got := RateResponseComplete(ri, 4e6, 0)
+		want := RateResponseCSMA(ri, 4e6)
+		if math.Abs(got-want) > 1 {
+			t.Errorf("ri=%g: complete=%g csma=%g", ri, got, want)
+		}
+	}
+}
+
+func TestAchievableFromDelays(t *testing.T) {
+	// Constant 1ms access delay with 1500B packets: B = 12 Mb/s.
+	mu := []float64{0.001, 0.001, 0.001}
+	if got := AchievableFromDelays(1500, mu); math.Abs(got-12e6) > 1 {
+		t.Errorf("B = %g, want 12e6", got)
+	}
+}
+
+func TestAchievableFromDelaysTransientRaisesB(t *testing.T) {
+	// Early accelerated packets (smaller mu) raise the apparent B above
+	// the steady-state value — the paper's short-train optimism.
+	steady := []float64{0.002, 0.002, 0.002, 0.002}
+	transient := []float64{0.001, 0.0015, 0.002, 0.002}
+	bS := AchievableFromDelays(1500, steady)
+	bT := AchievableFromDelays(1500, transient)
+	if bT <= bS {
+		t.Errorf("transient B %g should exceed steady B %g", bT, bS)
+	}
+}
+
+func TestAchievableFromDelaysFIFO(t *testing.T) {
+	mu := []float64{0.001}
+	b0 := AchievableFromDelays(1500, mu)
+	b := AchievableFromDelaysFIFO(1500, mu, 0.5)
+	if math.Abs(b-b0/2) > 1 {
+		t.Errorf("B with u=0.5 is %g, want %g", b, b0/2)
+	}
+}
+
+func TestAchievableFromCurve(t *testing.T) {
+	ri := []float64{1e6, 2e6, 3e6, 4e6, 5e6}
+	ro := []float64{1e6, 2e6, 3e6, 3.4e6, 3.4e6}
+	if got := AchievableFromCurve(ri, ro, 0.01); got != 3e6 {
+		t.Errorf("B = %g, want 3e6", got)
+	}
+	// Tolerance admits the 4e6 point when loose enough (3.4/4 = 0.85).
+	if got := AchievableFromCurve(ri, ro, 0.2); got != 4e6 {
+		t.Errorf("loose B = %g, want 4e6", got)
+	}
+	if got := AchievableFromCurve(nil, nil, 0.1); got != 0 {
+		t.Errorf("empty curve B = %g", got)
+	}
+}
+
+func TestKappa(t *testing.T) {
+	// No FIFO cross-traffic: kappa = (mu_n - mu_1)/(n-1).
+	got := Kappa(11, 0, 0, 0.001, 0.003)
+	if math.Abs(got-0.0002) > 1e-12 {
+		t.Errorf("kappa = %g, want 2e-4", got)
+	}
+	// Workload difference adds in.
+	got = Kappa(11, 0.001, 0.002, 0.001, 0.001)
+	if math.Abs(got-0.0001) > 1e-12 {
+		t.Errorf("kappa with W = %g, want 1e-4", got)
+	}
+}
+
+func TestKappaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 2")
+		}
+	}()
+	Kappa(1, 0, 0, 0, 0)
+}
+
+func TestGapRateConversions(t *testing.T) {
+	if got := RateFromGap(1500, 0.002); math.Abs(got-6e6) > 1 {
+		t.Errorf("RateFromGap = %g", got)
+	}
+	if got := GapFromRate(1500, 6e6); math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("GapFromRate = %g", got)
+	}
+	// Round trip.
+	for _, r := range []float64{1e6, 3.3e6, 11e6} {
+		if got := RateFromGap(1500, GapFromRate(1500, r)); math.Abs(got-r) > 1 {
+			t.Errorf("round trip %g -> %g", r, got)
+		}
+	}
+}
+
+// Property: the complete curve never exceeds min(ri, Bf) + epsilon and
+// equals ri below B.
+func TestRateResponseCompleteProperty(t *testing.T) {
+	f := func(riRaw, bfRaw, uRaw uint16) bool {
+		ri := float64(riRaw)*1e3 + 1
+		bf := float64(bfRaw)*1e3 + 1e5
+		u := float64(uRaw%90) / 100.0
+		ro := RateResponseComplete(ri, bf, u)
+		if ro > ri+1e-6 || ro > bf+1e-6 {
+			return false
+		}
+		b := AchievableComplete(bf, u)
+		if ri <= b && math.Abs(ro-ri) > 1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIFOFit is the result of fitting the fluid FIFO model (Eq. 1) to a
+// measured rate response curve.
+type FIFOFit struct {
+	C float64 // estimated capacity, bit/s
+	A float64 // estimated available bandwidth, bit/s
+	// Points is how many saturated curve points entered the regression.
+	Points int
+}
+
+// FitFIFO estimates (C, A) from a measured rate response curve by
+// linear regression on the saturated region, using the classical
+// inversion of Eq. 1 (the TOPP idea the paper's reference [13] builds
+// on): for ri >= A,
+//
+//	ri/ro = ri/C + (C-A)/C
+//
+// is linear in ri with slope 1/C and intercept (C-A)/C. Points with
+// ro ~ ri (within tol) are treated as unsaturated and excluded.
+//
+// On a CSMA/CA link this fit is *expected* to mis-report A — that is
+// precisely the paper's Section 7.2 point — which makes the function
+// useful both as a wired-path estimator and as a demonstration of the
+// failure mode.
+func FitFIFO(ri, ro []float64, tol float64) (FIFOFit, error) {
+	if len(ri) != len(ro) {
+		return FIFOFit{}, fmt.Errorf("core: curve length mismatch %d vs %d", len(ri), len(ro))
+	}
+	if tol <= 0 {
+		return FIFOFit{}, fmt.Errorf("core: tolerance %g must be positive", tol)
+	}
+	var xs, ys []float64
+	for i := range ri {
+		if ri[i] <= 0 || ro[i] <= 0 {
+			continue
+		}
+		if ro[i] >= ri[i]*(1-tol) {
+			continue // unsaturated: ro == ri
+		}
+		xs = append(xs, ri[i])
+		ys = append(ys, ri[i]/ro[i])
+	}
+	if len(xs) < 2 {
+		return FIFOFit{}, fmt.Errorf("core: only %d saturated points, need >= 2", len(xs))
+	}
+	slope, intercept, err := leastSquares(xs, ys)
+	if err != nil {
+		return FIFOFit{}, err
+	}
+	if slope <= 0 {
+		return FIFOFit{}, fmt.Errorf("core: non-physical slope %g (curve not FIFO-like)", slope)
+	}
+	c := 1 / slope
+	a := c * (1 - intercept)
+	// On curves that are not actually FIFO-shaped (e.g. the flat CSMA/CA
+	// plateau), the regression can place A marginally outside [0, C];
+	// clamp so the fit remains usable as a model input.
+	if a < 0 {
+		a = 0
+	}
+	if a > c {
+		a = c
+	}
+	return FIFOFit{C: c, A: a, Points: len(xs)}, nil
+}
+
+// leastSquares fits y = slope*x + intercept.
+func leastSquares(xs, ys []float64) (slope, intercept float64, err error) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("core: degenerate regression (all x equal)")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// CSMAFit is the result of fitting the CSMA/CA model (Eq. 3) to a
+// measured rate response curve.
+type CSMAFit struct {
+	B float64 // achievable throughput, bit/s
+	// PlateauPoints is how many saturated points formed the estimate.
+	PlateauPoints int
+	// RMSE is the root-mean-square error of min(ri, B) against the
+	// measured curve, for goodness-of-fit comparison with FitFIFO.
+	RMSE float64
+}
+
+// FitCSMA estimates the achievable throughput B from a measured curve
+// as the mean output rate over the saturated region (where ro deviates
+// from ri by more than tol), per the paper's Eq. 3 model ro = min(ri, B).
+func FitCSMA(ri, ro []float64, tol float64) (CSMAFit, error) {
+	if len(ri) != len(ro) {
+		return CSMAFit{}, fmt.Errorf("core: curve length mismatch %d vs %d", len(ri), len(ro))
+	}
+	if tol <= 0 {
+		return CSMAFit{}, fmt.Errorf("core: tolerance %g must be positive", tol)
+	}
+	var sum float64
+	var n int
+	for i := range ri {
+		if ri[i] <= 0 || ro[i] <= 0 {
+			continue
+		}
+		if ro[i] >= ri[i]*(1-tol) {
+			continue
+		}
+		sum += ro[i]
+		n++
+	}
+	if n == 0 {
+		return CSMAFit{}, fmt.Errorf("core: no saturated points; probe faster or lower tol")
+	}
+	b := sum / float64(n)
+	var se float64
+	var m int
+	for i := range ri {
+		if ri[i] <= 0 {
+			continue
+		}
+		pred := math.Min(ri[i], b)
+		d := pred - ro[i]
+		se += d * d
+		m++
+	}
+	return CSMAFit{B: b, PlateauPoints: n, RMSE: math.Sqrt(se / float64(m))}, nil
+}
+
+// ModelRMSE evaluates how well a predicted curve fn matches measured
+// (ri, ro) points; used to compare the FIFO and CSMA fits on the same
+// data (the paper's Figure 1 argument made quantitative).
+func ModelRMSE(ri, ro []float64, fn func(float64) float64) float64 {
+	if len(ri) == 0 {
+		return 0
+	}
+	var se float64
+	for i := range ri {
+		d := fn(ri[i]) - ro[i]
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(ri)))
+}

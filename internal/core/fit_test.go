@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// fifoCurve synthesises a noiseless Eq. 1 curve.
+func fifoCurve(c, a float64, n int, maxRi float64) (ri, ro []float64) {
+	for i := 1; i <= n; i++ {
+		x := maxRi * float64(i) / float64(n)
+		ri = append(ri, x)
+		ro = append(ro, RateResponseFIFO(x, c, a))
+	}
+	return
+}
+
+// csmaCurve synthesises a noiseless Eq. 3 curve.
+func csmaCurve(b float64, n int, maxRi float64) (ri, ro []float64) {
+	for i := 1; i <= n; i++ {
+		x := maxRi * float64(i) / float64(n)
+		ri = append(ri, x)
+		ro = append(ro, RateResponseCSMA(x, b))
+	}
+	return
+}
+
+func TestFitFIFORecoversParameters(t *testing.T) {
+	const c, a = 8e6, 3e6
+	ri, ro := fifoCurve(c, a, 40, 20e6)
+	fit, err := FitFIFO(ri, ro, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.C-c) > 0.02*c {
+		t.Errorf("C = %.2f Mb/s, want %.2f", fit.C/1e6, c/1e6)
+	}
+	if math.Abs(fit.A-a) > 0.05*a {
+		t.Errorf("A = %.2f Mb/s, want %.2f", fit.A/1e6, a/1e6)
+	}
+	if fit.Points < 10 {
+		t.Errorf("only %d regression points", fit.Points)
+	}
+}
+
+func TestFitFIFOWithNoise(t *testing.T) {
+	const c, a = 10e6, 4e6
+	ri, ro := fifoCurve(c, a, 60, 25e6)
+	// Multiplicative noise +-2%, deterministic pattern.
+	for i := range ro {
+		ro[i] *= 1 + 0.02*math.Sin(float64(i)*1.7)
+	}
+	fit, err := FitFIFO(ri, ro, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.C-c) > 0.1*c || math.Abs(fit.A-a) > 0.25*a {
+		t.Errorf("noisy fit C=%.2f A=%.2f, want ~%.0f/%.0f", fit.C/1e6, fit.A/1e6, c/1e6, a/1e6)
+	}
+}
+
+func TestFitFIFOErrors(t *testing.T) {
+	if _, err := FitFIFO([]float64{1}, []float64{1, 2}, 0.05); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitFIFO([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	// All unsaturated: nothing to regress on.
+	ri := []float64{1e6, 2e6}
+	if _, err := FitFIFO(ri, ri, 0.05); err == nil {
+		t.Error("identity curve accepted")
+	}
+}
+
+func TestFitCSMARecoversB(t *testing.T) {
+	const b = 3.4e6
+	ri, ro := csmaCurve(b, 30, 10e6)
+	fit, err := FitCSMA(ri, ro, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-b) > 0.02*b {
+		t.Errorf("B = %.2f Mb/s, want %.2f", fit.B/1e6, b/1e6)
+	}
+	if fit.RMSE > 0.01*b {
+		t.Errorf("RMSE %.0f too large for a perfect curve", fit.RMSE)
+	}
+}
+
+func TestFitCSMAErrors(t *testing.T) {
+	ri := []float64{1e6, 2e6}
+	if _, err := FitCSMA(ri, ri, 0.05); err == nil {
+		t.Error("identity curve accepted (no plateau)")
+	}
+	if _, err := FitCSMA(ri, []float64{1}, 0.05); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// The Section 7.2/Figure-1 argument, quantitative: on a CSMA/CA-shaped
+// curve, the CSMA model fits far better than the FIFO model, and the
+// FIFO fit's "available bandwidth" lands near B rather than near the
+// true A.
+func TestModelSelectionOnCSMACurve(t *testing.T) {
+	const b = 3.4e6
+	ri, ro := csmaCurve(b, 30, 10e6)
+	csma, err := FitCSMA(ri, ro, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := FitFIFO(ri, ro, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifoRMSE := ModelRMSE(ri, ro, func(x float64) float64 {
+		return RateResponseFIFO(x, fifo.C, fifo.A)
+	})
+	csmaRMSE := ModelRMSE(ri, ro, func(x float64) float64 {
+		return RateResponseCSMA(x, csma.B)
+	})
+	if csmaRMSE >= fifoRMSE {
+		t.Errorf("CSMA RMSE %.0f not below FIFO RMSE %.0f on a CSMA curve", csmaRMSE, fifoRMSE)
+	}
+	// The FIFO fit interprets the plateau as congestion near A ~ B:
+	// a tool assuming Eq. 1 reports achievable throughput as "available
+	// bandwidth".
+	if math.Abs(fifo.A-b) > 0.35*b {
+		t.Errorf("FIFO-fit A = %.2f Mb/s; expected it to chase B = %.2f", fifo.A/1e6, b/1e6)
+	}
+}
+
+func TestModelRMSEEmpty(t *testing.T) {
+	if got := ModelRMSE(nil, nil, func(float64) float64 { return 0 }); got != 0 {
+		t.Errorf("empty RMSE = %g", got)
+	}
+}
+
+func TestLeastSquaresDegenerate(t *testing.T) {
+	if _, _, err := leastSquares([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate regression accepted")
+	}
+}

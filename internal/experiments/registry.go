@@ -1,0 +1,50 @@
+package experiments
+
+import "fmt"
+
+// Runner produces one figure at a given scale with the paper-default
+// parameters.
+type Runner func(sc Scale) (*Figure, error)
+
+// Registry maps figure IDs to their default-parameter runners, in the
+// order they appear in the paper. cmd/figures iterates this to
+// regenerate the full evaluation.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"fig01", func(sc Scale) (*Figure, error) { return Fig1SteadyStateRRC(DefaultFig1(), sc) }},
+		{"fig04", func(sc Scale) (*Figure, error) { return Fig4CompleteRRC(DefaultFig4(), sc) }},
+		{"fig06", func(sc Scale) (*Figure, error) { return Fig6MeanAccessDelay(DefaultFig6(), sc, 150) }},
+		{"fig07", func(sc Scale) (*Figure, error) { return Fig7Histograms(DefaultFig6(), sc, 499, 30) }},
+		{"fig08", func(sc Scale) (*Figure, error) {
+			p := DefaultFig8()
+			return FigKS("fig08", p, sc, DefaultKSOptions(p.TrainLen))
+		}},
+		{"fig09", func(sc Scale) (*Figure, error) {
+			p := DefaultFig9()
+			opt := DefaultKSOptions(p.TrainLen)
+			opt.Packets = 50
+			return FigKS("fig09", p, sc, opt)
+		}},
+		{"fig10", func(sc Scale) (*Figure, error) { return Fig10TransientDuration(DefaultFig10(), sc) }},
+		{"fig13", func(sc Scale) (*Figure, error) { return TrainRRC("fig13", DefaultFig13(), sc) }},
+		{"fig15", func(sc Scale) (*Figure, error) { return TrainRRC("fig15", DefaultFig15(), sc) }},
+		{"fig16", func(sc Scale) (*Figure, error) { return Fig16PacketPair(DefaultFig16(), sc) }},
+		{"fig17", func(sc Scale) (*Figure, error) { return Fig17MSER(DefaultFig17(), sc) }},
+	}
+}
+
+// Lookup returns the runner for a figure ID.
+func Lookup(id string) (Runner, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown figure %q", id)
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"csmabw/internal/core"
+	"csmabw/internal/probe"
+	"csmabw/internal/sim"
+)
+
+// TrainRRCParams configures the short-train rate response experiments
+// (Figures 13 and 15): dispersion-based curves L/E[gO] vs ri for trains
+// of a few packets, compared with the steady-state response.
+type TrainRRCParams struct {
+	TrainLens     []int   // paper: 3, 10, 50
+	ContendingBps float64 // contending cross-traffic
+	FIFOCrossBps  float64 // 0 for Figure 13, >0 for Figure 15
+	PacketSize    int
+	MaxProbeBps   float64
+	Seed          int64
+}
+
+// DefaultFig13 matches the paper's Figure 13: no FIFO cross-traffic.
+func DefaultFig13() TrainRRCParams {
+	return TrainRRCParams{
+		TrainLens:     []int{3, 10, 50},
+		ContendingBps: 4e6,
+		PacketSize:    1500,
+		MaxProbeBps:   10e6,
+		Seed:          13,
+	}
+}
+
+// DefaultFig15 matches Figure 15: the complete system with FIFO
+// cross-traffic present.
+func DefaultFig15() TrainRRCParams {
+	p := DefaultFig13()
+	p.FIFOCrossBps = 1e6
+	p.ContendingBps = 2.5e6
+	p.Seed = 15
+	return p
+}
+
+func (p TrainRRCParams) link(seed int64) probe.Link {
+	l := probe.Link{
+		ProbeSize: p.PacketSize,
+		Seed:      seed,
+	}
+	if p.ContendingBps > 0 {
+		l.Contenders = []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}}
+	}
+	if p.FIFOCrossBps > 0 {
+		l.FIFOCross = []probe.Flow{{RateBps: p.FIFOCrossBps, Size: p.PacketSize}}
+	}
+	return l
+}
+
+// TrainRRC produces the dispersion-inferred rate response L/E[gO] for
+// each configured train length, plus the steady-state curve measured
+// with long constant-rate probing.
+func TrainRRC(id string, p TrainRRCParams, sc Scale) (*Figure, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	rates := sweep(0.5e6, p.MaxProbeBps, sc.SweepPoints)
+
+	steady := Series{Name: "steady state"}
+	dur := sim.FromSeconds(sc.SteadySeconds)
+	for i, ri := range rates {
+		ss, err := probe.MeasureSteadyState(p.link(p.Seed+int64(i)*37), ri, dur)
+		if err != nil {
+			return nil, err
+		}
+		steady.X = append(steady.X, ri/1e6)
+		steady.Y = append(steady.Y, ss.ProbeRate/1e6)
+	}
+
+	fig := &Figure{
+		ID:     id,
+		Title:  "Dispersion-inferred rate response of short trains vs steady state",
+		XLabel: "ri (Mb/s)",
+		YLabel: "L/E[gO] (Mb/s)",
+		Series: []Series{steady},
+	}
+	for _, n := range p.TrainLens {
+		s := Series{Name: fmt.Sprintf("train of %d packets", n)}
+		for i, ri := range rates {
+			ts, err := probe.MeasureTrain(p.link(p.Seed+int64(n*1000+i)), n, ri, sc.Reps)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, ri/1e6)
+			s.Y = append(s.Y, ts.RateEstimate()/1e6)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig16Params configures the packet-pair experiment of Figure 16.
+type Fig16Params struct {
+	CrossRates  []float64 // swept contending cross-traffic rates, bit/s
+	PacketSize  int
+	SaturateBps float64 // probing rate used to measure the actual response
+	Seed        int64
+}
+
+// DefaultFig16 sweeps cross-traffic 0..10 Mb/s as in the paper.
+func DefaultFig16() Fig16Params {
+	var rates []float64
+	for r := 0.0; r <= 10e6; r += 1e6 {
+		rates = append(rates, r)
+	}
+	return Fig16Params{CrossRates: rates, PacketSize: 1500, SaturateBps: 12e6, Seed: 16}
+}
+
+// Fig16PacketPair compares, for each cross-traffic level, the actual
+// achievable throughput (fluid response, measured with a saturating
+// long flow) against the packet-pair dispersion inference. The pair
+// overestimates everywhere except at zero cross-traffic (Section 7.3).
+func Fig16PacketPair(p Fig16Params, sc Scale) (*Figure, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	fluid := Series{Name: "fluid response (actual)"}
+	pair := Series{Name: "packet pair inference"}
+	dur := sim.FromSeconds(sc.SteadySeconds)
+	for i, cr := range p.CrossRates {
+		l := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed + int64(i)*61}
+		if cr > 0 {
+			l.Contenders = []probe.Flow{{RateBps: cr, Size: p.PacketSize}}
+		}
+		ss, err := probe.MeasureSteadyState(l, p.SaturateBps, dur)
+		if err != nil {
+			return nil, err
+		}
+		est, err := probe.MeasurePair(l, sc.Reps)
+		if err != nil {
+			return nil, err
+		}
+		x := cr / 1e6
+		fluid.X = append(fluid.X, x)
+		fluid.Y = append(fluid.Y, ss.ProbeRate/1e6)
+		pair.X = append(pair.X, x)
+		pair.Y = append(pair.Y, est/1e6)
+	}
+	return &Figure{
+		ID:     "fig16",
+		Title:  "Packet-pair inference vs actual achievable throughput",
+		XLabel: "cross-traffic rate (Mb/s)",
+		YLabel: "achievable throughput (Mb/s)",
+		Series: []Series{fluid, pair},
+	}, nil
+}
+
+// Fig17Params configures the MSER-corrected measurement of Figure 17.
+type Fig17Params struct {
+	TrainLen      int // paper: 20
+	MSERBatch     int // paper: MSER-2
+	ContendingBps float64
+	PacketSize    int
+	MaxProbeBps   float64
+	Seed          int64
+}
+
+// DefaultFig17 matches the paper's 20-packet trains with MSER-2.
+func DefaultFig17() Fig17Params {
+	return Fig17Params{
+		TrainLen:      20,
+		MSERBatch:     2,
+		ContendingBps: 4e6,
+		PacketSize:    1500,
+		MaxProbeBps:   10e6,
+		Seed:          17,
+	}
+}
+
+// Fig17MSER compares the raw 20-packet-train rate response against the
+// MSER-m corrected one and the steady-state curve (Section 7.4: the
+// corrected curve approaches steady state without longer trains).
+func Fig17MSER(p Fig17Params, sc Scale) (*Figure, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	rates := sweep(1e6, p.MaxProbeBps, sc.SweepPoints)
+	steady := Series{Name: "steady state"}
+	raw := Series{Name: fmt.Sprintf("train of %d packets", p.TrainLen)}
+	corrected := Series{Name: fmt.Sprintf("train of %d packets (MSER-%d)", p.TrainLen, p.MSERBatch)}
+	dur := sim.FromSeconds(sc.SteadySeconds)
+	for i, ri := range rates {
+		l := probe.Link{
+			ProbeSize:  p.PacketSize,
+			Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
+			Seed:       p.Seed + int64(i)*41,
+		}
+		ss, err := probe.MeasureSteadyState(l, ri, dur)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := probe.MeasureTrain(l, p.TrainLen, ri, sc.Reps)
+		if err != nil {
+			return nil, err
+		}
+		// MSER correction applied to the ensemble: the per-position mean
+		// gap series locates the transient, every train is truncated
+		// there, and the remainder averaged (Section 7.4).
+		rows := ts.InterDepartureGaps()
+		usable := rows[:0]
+		for _, gaps := range rows {
+			if len(gaps) >= 2 {
+				usable = append(usable, gaps)
+			}
+		}
+		if len(usable) == 0 {
+			continue
+		}
+		x := ri / 1e6
+		steady.X = append(steady.X, x)
+		steady.Y = append(steady.Y, ss.ProbeRate/1e6)
+		raw.X = append(raw.X, x)
+		raw.Y = append(raw.Y, core.RateFromGap(p.PacketSize, core.RawGapRows(usable))/1e6)
+		corrected.X = append(corrected.X, x)
+		corrected.Y = append(corrected.Y,
+			core.RateFromGap(p.PacketSize, core.CorrectedGapByPosition(usable, p.MSERBatch))/1e6)
+	}
+	return &Figure{
+		ID:     "fig17",
+		Title:  "MSER-corrected short-train measurement vs raw and steady state",
+		XLabel: "ri (Mb/s)",
+		YLabel: "L/E[gO] (Mb/s)",
+		Series: []Series{steady, raw, corrected},
+	}, nil
+}

@@ -1,0 +1,662 @@
+// Package mac implements a discrete-event simulator of the IEEE 802.11
+// Distributed Coordination Function (DCF) over a single collision domain.
+// It is the reproduction's substitute for the NS2 2.29 setup the paper
+// uses: infinite FIFO transmission queues, binary exponential backoff,
+// DIFS/EIFS sensing, SIFS+ACK exchanges, post-backoff, immediate channel
+// access, collisions between stations whose backoff expires in the same
+// slot, and a perfect channel (no propagation errors, no capture, no
+// hidden terminals, no RTS/CTS) — exactly the conditions of the paper's
+// validation appendix.
+//
+// The quantity of interest throughout is the *access delay* of a frame:
+// the time from when it reaches the head of its station's FIFO queue
+// until it is completely transmitted (Section 3.1 of the paper). The
+// engine records it for every delivered frame, along with queueing
+// delay, retry counts, and queue-length samples, so the experiment
+// drivers can study both the steady state (Figs. 1, 4) and the transient
+// (Figs. 6-10, 13, 15-17).
+package mac
+
+import (
+	"fmt"
+
+	"csmabw/internal/phy"
+	"csmabw/internal/sim"
+	"csmabw/internal/traffic"
+)
+
+// Frame is one packet flowing through the MAC. The timestamps trace its
+// life: Arrived (entered FIFO queue) -> HOL (reached head of line) ->
+// Departed (data frame completely on the air, i.e. the instant the
+// receiver has it).
+type Frame struct {
+	ID      int64
+	Station int
+	Size    int // payload bytes
+	Probe   bool
+	Index   int // probe-train index, -1 for cross traffic
+
+	Arrived  sim.Time
+	HOL      sim.Time
+	Departed sim.Time
+	Retries  int
+}
+
+// AccessDelay is the paper's µ_i: head-of-line to complete transmission.
+func (f *Frame) AccessDelay() sim.Time { return f.Departed - f.HOL }
+
+// QueueDelay is the time spent waiting behind other frames in the FIFO.
+func (f *Frame) QueueDelay() sim.Time { return f.HOL - f.Arrived }
+
+// TotalDelay is the paper's Z_i = d_i - a_i (Eq. 15).
+func (f *Frame) TotalDelay() sim.Time { return f.Departed - f.Arrived }
+
+// StationConfig describes one contending station and its offered traffic.
+type StationConfig struct {
+	// Name appears in diagnostics.
+	Name string
+	// Arrivals is the station's time-ordered packet schedule. Probe and
+	// FIFO cross-traffic sharing one queue are expressed by merging
+	// their schedules into a single station (traffic.Merge).
+	Arrivals []traffic.Arrival
+}
+
+// Config describes a complete single-BSS scenario.
+type Config struct {
+	Phy      phy.Params
+	Stations []StationConfig
+	// Seed drives every backoff draw. Identical configs and seeds
+	// reproduce identical runs.
+	Seed int64
+	// Horizon stops the simulation even if arrivals remain. Zero means
+	// run until all offered traffic is delivered or dropped.
+	Horizon sim.Time
+
+	// RTSThreshold enables the RTS/CTS four-way handshake for frames
+	// whose payload meets or exceeds it. Zero disables RTS/CTS, which is
+	// the paper's configuration ("RTS/CTS is not used"); the option
+	// exists as an extension/ablation: with RTS/CTS a collision only
+	// wastes an RTS airtime instead of a full data frame.
+	RTSThreshold int
+
+	// DisableImmediateAccess forces every frame — even one arriving to a
+	// fully idle station on an idle medium — to draw a backoff before
+	// transmitting. Real DCF grants immediate access after DIFS idle;
+	// this switch exists for the ablation study of the transient's
+	// mechanism (DESIGN.md §5): without the first-packet acceleration
+	// the access-delay transient shrinks markedly.
+	DisableImmediateAccess bool
+
+	// OnDepart, if set, is invoked at the instant each frame finishes
+	// transmission, before it is appended to the result. The engine
+	// pointer allows sampling instantaneous state such as queue lengths
+	// (used to reproduce Fig. 8 bottom).
+	OnDepart func(e *Engine, f *Frame)
+
+	// OnEvent, if set, receives every channel event (transmission
+	// start, success, collision, drop) — the hook the trace recorder
+	// (internal/trace) attaches to.
+	OnEvent func(ev Event)
+}
+
+// EventKind classifies channel events for tracing.
+type EventKind uint8
+
+// Channel event kinds.
+const (
+	EvTxStart   EventKind = iota + 1 // a station begins transmitting
+	EvSuccess                        // exchange completed, frame delivered
+	EvCollision                      // two or more stations transmitted together
+	EvDrop                           // retry limit exhausted, frame discarded
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvTxStart:
+		return "txstart"
+	case EvSuccess:
+		return "success"
+	case EvCollision:
+		return "collision"
+	case EvDrop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Event is one channel event for the trace stream.
+type Event struct {
+	At      sim.Time
+	Kind    EventKind
+	Station int
+	Size    int // payload bytes of the frame involved (0 for collisions spanning several)
+	Probe   bool
+	Index   int // probe index or -1
+	Retries int
+}
+
+// StationStats aggregates per-station outcomes.
+type StationStats struct {
+	Delivered   int
+	Dropped     int
+	PayloadBits int64
+	Collisions  int // transmission attempts that collided
+	Attempts    int // total transmission attempts (wins of contention)
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Frames holds every delivered frame, per station, in departure order.
+	Frames [][]*Frame
+	// Stats per station.
+	Stats []StationStats
+	// End is the simulated time at which the run stopped.
+	End sim.Time
+}
+
+// Throughput returns station s's carried rate in bit/s over [from, to],
+// counting frames that departed inside the window.
+func (r *Result) Throughput(s int, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var bits int64
+	for _, f := range r.Frames[s] {
+		if f.Departed >= from && f.Departed <= to {
+			bits += int64(f.Size) * 8
+		}
+	}
+	return float64(bits) / (to - from).Seconds()
+}
+
+// ProbeFrames returns the delivered probe frames of station s ordered by
+// train index. Missing indices (dropped frames) are skipped.
+func (r *Result) ProbeFrames(s int) []*Frame {
+	var out []*Frame
+	for _, f := range r.Frames[s] {
+		if f.Probe {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// station is the runtime state of one DCF transmitter.
+type station struct {
+	id       int
+	name     string
+	arrivals []traffic.Arrival
+	next     int // cursor into arrivals
+
+	queue   []*Frame
+	head    int // index of HOL frame within queue (amortised pop)
+	cw      int
+	retries int
+	backoff int  // slots remaining; -1 when no countdown is active
+	postBO  bool // true while the countdown is a post-backoff with an empty queue
+	eifs    bool // next sensing period must be EIFS (observed an erroneous frame)
+	// senseFrom is a personal lower bound on when this station started
+	// sensing the medium for the current countdown: a frame arriving to
+	// a fully idle station starts sensing at its arrival instant, not at
+	// the (possibly long past) moment the medium went idle.
+	senseFrom sim.Time
+	rng       *sim.Rand
+	frameSeq  int64
+}
+
+func (s *station) queueLen() int { return len(s.queue) - s.head }
+
+func (s *station) hol() *Frame {
+	if s.queueLen() == 0 {
+		return nil
+	}
+	return s.queue[s.head]
+}
+
+func (s *station) popHOL() *Frame {
+	f := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head > 64 && s.head*2 >= len(s.queue) {
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+	return f
+}
+
+// Engine runs one scenario. Create with New, drive with Run.
+type Engine struct {
+	cfg      Config
+	phy      phy.Params
+	stations []*station
+	now      sim.Time
+	idleAt   sim.Time // instant the medium last became idle
+	res      *Result
+}
+
+// New validates the configuration and prepares an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Phy.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Stations) == 0 {
+		return nil, fmt.Errorf("mac: no stations configured")
+	}
+	base := sim.NewRand(cfg.Seed)
+	e := &Engine{cfg: cfg, phy: cfg.Phy}
+	for i, sc := range cfg.Stations {
+		if err := traffic.Validate(sc.Arrivals); err != nil {
+			return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+		}
+		e.stations = append(e.stations, &station{
+			id:       i,
+			name:     sc.Name,
+			arrivals: sc.Arrivals,
+			cw:       cfg.Phy.CWMin,
+			backoff:  -1,
+			rng:      base.Split(uint64(i) + 1),
+		})
+	}
+	e.res = &Result{
+		Frames: make([][]*Frame, len(e.stations)),
+		Stats:  make([]StationStats, len(e.stations)),
+	}
+	return e, nil
+}
+
+// Now reports the current simulated time (valid inside OnDepart hooks).
+func (e *Engine) Now() sim.Time { return e.now }
+
+// QueueLen reports the instantaneous FIFO occupancy of station s,
+// including the head-of-line frame.
+func (e *Engine) QueueLen(s int) int { return e.stations[s].queueLen() }
+
+// pumpArrivals moves every arrival with At <= now into its queue.
+func (e *Engine) pumpArrivals(now sim.Time) {
+	for _, s := range e.stations {
+		for s.next < len(s.arrivals) && s.arrivals[s.next].At <= now {
+			a := s.arrivals[s.next]
+			s.next++
+			f := &Frame{
+				ID:      int64(s.id)<<40 | s.frameSeq,
+				Station: s.id,
+				Size:    a.Size,
+				Probe:   a.Probe,
+				Index:   a.Index,
+				Arrived: a.At,
+			}
+			s.frameSeq++
+			if s.queueLen() == 0 {
+				f.HOL = a.At
+			}
+			s.queue = append(s.queue, f)
+		}
+	}
+}
+
+// nextArrival returns the earliest pending arrival time, or sim.MaxTime.
+func (e *Engine) nextArrival() sim.Time {
+	t := sim.MaxTime
+	for _, s := range e.stations {
+		if s.next < len(s.arrivals) && s.arrivals[s.next].At < t {
+			t = s.arrivals[s.next].At
+		}
+	}
+	return t
+}
+
+// drawBackoff draws a fresh backoff for s from [0, cw].
+func (s *station) drawBackoff() { s.backoff = s.rng.Intn(s.cw + 1) }
+
+// senseStart computes the station's IFS end for the current idle
+// period: the inter-frame space (DIFS normally, EIFS after observing an
+// undecodable frame) counted from whichever is later — the instant the
+// medium went idle, or the instant the station itself started sensing
+// (its frame's arrival, for stations that were fully idle).
+func (e *Engine) senseStart(s *station) sim.Time {
+	base := e.idleAt
+	if s.senseFrom > base {
+		base = s.senseFrom
+	}
+	if s.eifs {
+		return base + e.phy.EIFS()
+	}
+	return base + e.phy.DIFS
+}
+
+// Run executes the scenario to completion and returns the result.
+// It may only be called once per Engine.
+func (e *Engine) Run() *Result {
+	horizon := e.cfg.Horizon
+	if horizon == 0 {
+		horizon = sim.MaxTime
+	}
+	for e.now < horizon {
+		// Arrivals that landed while the medium was busy enter their
+		// queues without immediate-access rights (they must back off).
+		e.pumpArrivals(e.now)
+		if !e.anyBacklogOrCountdown() {
+			na := e.nextArrival()
+			if na == sim.MaxTime || na > horizon {
+				break
+			}
+			// The medium is idle when these packets arrive: grant
+			// immediate access per the DIFS-idle rule.
+			e.now = na
+			e.admitIdleArrivals()
+			continue
+		}
+		if !e.contend(horizon) {
+			break
+		}
+	}
+	e.res.End = e.now
+	return e.res
+}
+
+// anyBacklogOrCountdown reports whether any station holds a frame or is
+// counting down a post-backoff.
+func (e *Engine) anyBacklogOrCountdown() bool {
+	for _, s := range e.stations {
+		if s.queueLen() > 0 || (s.postBO && s.backoff >= 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// contend resolves one idle period: it determines which station(s)
+// transmit next, processes the resulting success or collision, and
+// advances the clock past the busy period. It returns false when the
+// simulation should stop (horizon reached with nothing left to do).
+func (e *Engine) contend(horizon sim.Time) bool {
+	p := e.phy
+	for {
+		// Candidate transmission instants for stations with an active
+		// countdown (frame pending or post-backoff).
+		txAt := sim.MaxTime
+		for _, s := range e.stations {
+			if s.backoff < 0 {
+				if s.hol() == nil {
+					continue
+				}
+				// Frame pending but no countdown: it became HOL while
+				// the medium was busy, or the station has no immediate
+				// access right. Draw a fresh backoff now.
+				s.drawBackoff()
+				s.postBO = false
+			}
+			t := e.senseStart(s) + sim.Time(s.backoff)*p.Slot
+			if t < e.now {
+				// Immediate-access frames may have arrived after the
+				// DIFS-idle point: they transmit right away, i.e. now.
+				t = e.now
+			}
+			if t < txAt {
+				txAt = t
+			}
+		}
+
+		na := e.nextArrival()
+		if txAt == sim.MaxTime && na == sim.MaxTime {
+			return false
+		}
+		if na < txAt {
+			// An arrival lands inside the idle period before anyone
+			// transmits. Admit it; it may gain immediate access.
+			if na > horizon {
+				e.now = horizon
+				return false
+			}
+			e.now = na
+			e.admitIdleArrivals()
+			continue
+		}
+		if txAt > horizon {
+			e.now = horizon
+			return false
+		}
+		e.transmitAt(txAt)
+		return true
+	}
+}
+
+// admitIdleArrivals pumps arrivals due now, granting immediate access
+// (zero backoff after DIFS sensing) to stations that were completely
+// idle — the 802.11 rule that a station sensing the medium idle for DIFS
+// transmits without backoff. This acceleration of early probe packets is
+// the mechanism behind the paper's transient (Section 4).
+func (e *Engine) admitIdleArrivals() {
+	for _, s := range e.stations {
+		hadFrame := s.queueLen() > 0
+		counting := s.backoff >= 0
+		for s.next < len(s.arrivals) && s.arrivals[s.next].At <= e.now {
+			a := s.arrivals[s.next]
+			s.next++
+			f := &Frame{
+				ID:      int64(s.id)<<40 | s.frameSeq,
+				Station: s.id,
+				Size:    a.Size,
+				Probe:   a.Probe,
+				Index:   a.Index,
+				Arrived: a.At,
+			}
+			s.frameSeq++
+			if s.queueLen() == 0 {
+				f.HOL = a.At
+			}
+			s.queue = append(s.queue, f)
+		}
+		if s.queueLen() == 0 || hadFrame {
+			continue
+		}
+		// Station just became backlogged.
+		if counting {
+			// Post-backoff countdown in progress: the frame inherits it.
+			s.postBO = false
+			continue
+		}
+		// The station starts sensing at the arrival instant; it may
+		// transmit once it has observed DIFS of idle medium from here.
+		s.senseFrom = e.now
+		s.postBO = false
+		if e.cfg.DisableImmediateAccess {
+			// Ablation mode: treat the idle arrival like any other and
+			// draw a full backoff.
+			s.drawBackoff()
+			continue
+		}
+		// Fully idle station: immediate access — transmit after DIFS
+		// with no backoff.
+		s.backoff = 0
+	}
+}
+
+// transmitAt advances the clock to txAt, decrements frozen counters, and
+// executes the transmission (success or collision) of every station
+// whose countdown expires at txAt.
+func (e *Engine) transmitAt(txAt sim.Time) {
+	p := e.phy
+	var winners []*station
+	for _, s := range e.stations {
+		if s.backoff < 0 {
+			continue
+		}
+		start := e.senseStart(s)
+		if start+sim.Time(s.backoff)*p.Slot <= txAt {
+			winners = append(winners, s)
+			s.backoff = 0
+			continue
+		}
+		// Decrement by the number of whole slots that elapsed before the
+		// medium went busy.
+		if txAt > start {
+			elapsed := int((txAt - start) / p.Slot)
+			if elapsed > s.backoff {
+				elapsed = s.backoff
+			}
+			s.backoff -= elapsed
+		}
+	}
+	e.now = txAt
+
+	// Post-backoff countdowns that expire with an empty queue simply end:
+	// the station returns to the fully idle state.
+	var tx []*station
+	for _, s := range winners {
+		if s.hol() == nil {
+			s.backoff = -1
+			s.postBO = false
+			continue
+		}
+		tx = append(tx, s)
+	}
+	if len(tx) == 0 {
+		return
+	}
+
+	if len(tx) == 1 {
+		e.success(tx[0])
+		return
+	}
+	e.collision(tx)
+}
+
+// usesRTS reports whether frame f is sent with the four-way handshake.
+func (e *Engine) usesRTS(f *Frame) bool {
+	return e.cfg.RTSThreshold > 0 && f.Size >= e.cfg.RTSThreshold
+}
+
+// success completes a clean frame exchange for station s: either
+// DATA + SIFS + ACK, or the RTS/CTS four-way handshake when the frame
+// crosses the RTS threshold.
+func (e *Engine) success(s *station) {
+	p := e.phy
+	f := s.popHOL()
+	dataStart := e.now
+	if e.usesRTS(f) {
+		dataStart += p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS
+	}
+	dataEnd := dataStart + p.DataTxTime(f.Size)
+	exchEnd := dataEnd + p.SIFS + p.ACKTxTime()
+	f.Departed = dataEnd
+	f.Retries = s.retries
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+		e.cfg.OnEvent(Event{At: dataEnd, Kind: EvSuccess, Station: s.id,
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+	}
+
+	st := &e.res.Stats[s.id]
+	st.Attempts++
+	st.Delivered++
+	st.PayloadBits += int64(f.Size) * 8
+
+	// Medium busy until the ACK completes; everyone resumes after that.
+	e.now = exchEnd
+	e.idleAt = exchEnd
+	for _, o := range e.stations {
+		o.eifs = false
+	}
+
+	// Successful station resets its window and performs the mandatory
+	// backoff (regular if more frames wait, post-backoff otherwise).
+	s.cw = p.CWMin
+	s.retries = 0
+	if nf := s.hol(); nf != nil {
+		nf.HOL = exchEnd
+		s.postBO = false
+	} else {
+		s.postBO = true
+	}
+	s.drawBackoff()
+
+	if e.cfg.OnDepart != nil {
+		e.cfg.OnDepart(e, f)
+	}
+	e.res.Frames[s.id] = append(e.res.Frames[s.id], f)
+}
+
+// collision handles two or more stations transmitting in the same slot.
+// The medium is busy for the longest colliding transmission (a full
+// data frame, or just an RTS for stations using the handshake — the
+// collision-cost reduction RTS/CTS exists for); colliders wait for
+// their timeout, double their windows and redraw; bystanders defer
+// with EIFS.
+func (e *Engine) collision(tx []*station) {
+	p := e.phy
+	var busy sim.Time
+	for _, s := range tx {
+		f := s.hol()
+		d := p.DataTxTime(f.Size)
+		if e.usesRTS(f) {
+			d = p.RTSTxTime()
+		}
+		if d > busy {
+			busy = d
+		}
+		e.res.Stats[s.id].Attempts++
+		e.res.Stats[s.id].Collisions++
+		if e.cfg.OnEvent != nil {
+			e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+			e.cfg.OnEvent(Event{At: e.now, Kind: EvCollision, Station: s.id,
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+		}
+	}
+	busyEnd := e.now + busy
+
+	colliding := make(map[int]bool, len(tx))
+	for _, s := range tx {
+		colliding[s.id] = true
+	}
+	for _, o := range e.stations {
+		o.eifs = !colliding[o.id]
+	}
+
+	for _, s := range tx {
+		s.retries++
+		if s.retries >= p.RetryLimit {
+			// Long retry limit exhausted: drop the frame.
+			df := s.popHOL()
+			e.res.Stats[s.id].Dropped++
+			if e.cfg.OnEvent != nil {
+				e.cfg.OnEvent(Event{At: busyEnd, Kind: EvDrop, Station: s.id,
+					Size: df.Size, Probe: df.Probe, Index: df.Index, Retries: s.retries})
+			}
+			s.retries = 0
+			s.cw = p.CWMin
+			if nf := s.hol(); nf != nil {
+				nf.HOL = busyEnd
+				s.postBO = false
+			} else {
+				s.postBO = true
+			}
+		} else {
+			s.cw = 2*(s.cw+1) - 1
+			if s.cw > p.CWMax {
+				s.cw = p.CWMax
+			}
+			s.postBO = false
+		}
+		s.drawBackoff()
+		// The collider senses its ACK timeout before re-contending; fold
+		// it into the station's sensing by marking EIFS (ACKTimeout+DIFS
+		// ~= EIFS for our PHY profiles).
+		s.eifs = true
+	}
+	e.now = busyEnd
+	e.idleAt = busyEnd
+	e.pumpArrivals(busyEnd)
+}
+
+// Run is a convenience wrapper: build an engine and execute it.
+func Run(cfg Config) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(), nil
+}

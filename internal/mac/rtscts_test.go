@@ -1,0 +1,128 @@
+package mac
+
+import (
+	"testing"
+
+	"csmabw/internal/phy"
+	"csmabw/internal/sim"
+	"csmabw/internal/traffic"
+)
+
+func TestRTSAddsHandshakeOverhead(t *testing.T) {
+	p := phy.B11()
+	arr := []traffic.Arrival{{At: sim.Millisecond, Size: 1500, Index: -1}}
+	plain := runOne(t, Config{Phy: p, Stations: []StationConfig{{Arrivals: arr}}, Seed: 1})
+	rts := runOne(t, Config{Phy: p, RTSThreshold: 1000,
+		Stations: []StationConfig{{Arrivals: arr}}, Seed: 1})
+	dPlain := plain.Frames[0][0].AccessDelay()
+	dRTS := rts.Frames[0][0].AccessDelay()
+	want := p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS
+	if dRTS-dPlain != want {
+		t.Errorf("RTS overhead = %v, want %v", dRTS-dPlain, want)
+	}
+}
+
+func TestRTSThresholdSelective(t *testing.T) {
+	p := phy.B11()
+	// A small frame below the threshold must not pay the handshake.
+	arr := []traffic.Arrival{{At: sim.Millisecond, Size: 100, Index: -1}}
+	plain := runOne(t, Config{Phy: p, Stations: []StationConfig{{Arrivals: arr}}, Seed: 2})
+	rts := runOne(t, Config{Phy: p, RTSThreshold: 1000,
+		Stations: []StationConfig{{Arrivals: arr}}, Seed: 2})
+	if plain.Frames[0][0].AccessDelay() != rts.Frames[0][0].AccessDelay() {
+		t.Error("sub-threshold frame paid the RTS handshake")
+	}
+}
+
+func TestRTSReducesSaturationThroughputAtLowContention(t *testing.T) {
+	// With two stations, collisions are rare: the four-way handshake is
+	// pure overhead and aggregate throughput must drop.
+	mk := func(thresh int) float64 {
+		res := runOne(t, Config{
+			Phy:          phy.B11(),
+			RTSThreshold: thresh,
+			Stations: []StationConfig{
+				{Arrivals: traffic.CBR(20e6, 1500, 0, 2*sim.Second)},
+				{Arrivals: traffic.CBR(20e6, 1500, 0, 2*sim.Second)},
+			},
+			Seed: 3, Horizon: 2 * sim.Second,
+		})
+		return res.Throughput(0, 0, 2*sim.Second) + res.Throughput(1, 0, 2*sim.Second)
+	}
+	plain := mk(0)
+	withRTS := mk(1)
+	if withRTS >= plain {
+		t.Errorf("RTS/CTS at n=2 should cost throughput: %.2f >= %.2f Mb/s",
+			withRTS/1e6, plain/1e6)
+	}
+}
+
+func TestRTSCollisionCostsOnlyRTS(t *testing.T) {
+	// Engineer a guaranteed collision: two idle stations get a packet at
+	// the same instant while the medium is idle -> both take immediate
+	// access and collide. With RTS/CTS the busy period is the RTS
+	// airtime; the retry then completes. Compare time-to-first-delivery
+	// against the no-RTS variant, which wastes a whole 1500B frame.
+	p := phy.B11()
+	arr := []traffic.Arrival{{At: sim.Millisecond, Size: 1500, Index: -1}}
+	mk := func(thresh int) sim.Time {
+		res := runOne(t, Config{
+			Phy:          p,
+			RTSThreshold: thresh,
+			Stations:     []StationConfig{{Arrivals: arr}, {Arrivals: arr}},
+			Seed:         4,
+		})
+		first := sim.MaxTime
+		for s := range res.Frames {
+			for _, f := range res.Frames[s] {
+				if f.Departed < first {
+					first = f.Departed
+				}
+			}
+		}
+		return first
+	}
+	plain := mk(0)
+	withRTS := mk(1)
+	// Identical seeds draw identical post-collision backoffs, so the
+	// difference reflects the busy-period cost plus handshake overheads.
+	// The collision waste differs by DataTx(1500) - RTSTx ~ 1ms, while
+	// the success path adds back the handshake ~0.7ms; net: RTS wins.
+	if withRTS >= plain {
+		t.Errorf("first delivery with RTS at %v, without %v — RTS should recover faster from the engineered collision", withRTS, plain)
+	}
+}
+
+func TestRTSStatsStillConserve(t *testing.T) {
+	arr := traffic.Poisson(sim.NewRand(5), 3e6, 1500, 0, sim.Second)
+	cross := traffic.Poisson(sim.NewRand(6), 3e6, 1500, 0, sim.Second)
+	res := runOne(t, Config{
+		Phy:          phy.B11(),
+		RTSThreshold: 500,
+		Stations:     []StationConfig{{Arrivals: arr}, {Arrivals: cross}},
+		Seed:         7,
+	})
+	if got, want := res.Stats[0].Delivered+res.Stats[0].Dropped, len(arr); got != want {
+		t.Errorf("station 0 accounted %d of %d", got, want)
+	}
+	if got, want := res.Stats[1].Delivered+res.Stats[1].Dropped, len(cross); got != want {
+		t.Errorf("station 1 accounted %d of %d", got, want)
+	}
+}
+
+func TestPhyRTSTimes(t *testing.T) {
+	p := phy.B11()
+	if p.RTSTxTime() <= 0 || p.CTSTxTime() <= 0 {
+		t.Fatal("non-positive control frame airtime")
+	}
+	if p.RTSTxTime() <= p.CTSTxTime() {
+		t.Error("RTS (20B) should outlast CTS (14B)")
+	}
+	want := p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS + p.SuccessExchangeTime(1500)
+	if p.RTSExchangeTime(1500) != want {
+		t.Errorf("RTSExchangeTime = %v, want %v", p.RTSExchangeTime(1500), want)
+	}
+	if p.CTSTimeout() != p.SIFS+p.CTSTxTime()+p.Slot {
+		t.Errorf("CTSTimeout = %v", p.CTSTimeout())
+	}
+}

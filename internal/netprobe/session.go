@@ -1,0 +1,145 @@
+package netprobe
+
+import (
+	"fmt"
+	"time"
+
+	"csmabw/internal/core"
+)
+
+// SessionReport aggregates a multi-train probing session: the paper's
+// methodology of sending m probing sequences and using the limiting
+// average of the output dispersion.
+type SessionReport struct {
+	Trains    int
+	Completed int
+	// MeanGap is E[gO] over completed trains, seconds.
+	MeanGap float64
+	// RateBps is L/E[gO].
+	RateBps float64
+	// CorrectedRateBps applies the MSER correction (Section 7.4) to the
+	// ensemble of per-train inter-arrival gaps; zero when disabled or
+	// not computable.
+	CorrectedRateBps float64
+	// PerTrain holds each train's report.
+	PerTrain []*Report
+}
+
+// SessionSpec configures RunSession.
+type SessionSpec struct {
+	Train TrainSpec
+	// Trains is how many trains to send (paper: repeated sequences with
+	// Poisson spacing; here a fixed pause randomised by the OS
+	// scheduler suffices for live paths).
+	Trains int
+	// Pause between trains.
+	Pause time.Duration
+	// Timeout per train at the receiver.
+	Timeout time.Duration
+	// MSERBatch enables the corrected estimate (0 disables).
+	MSERBatch int
+}
+
+// Validate reports configuration errors.
+func (s SessionSpec) Validate() error {
+	if err := s.Train.Validate(); err != nil {
+		return err
+	}
+	if s.Trains < 1 {
+		return fmt.Errorf("netprobe: %d trains", s.Trains)
+	}
+	if s.Pause < 0 || s.Timeout <= 0 {
+		return fmt.Errorf("netprobe: bad pause %v / timeout %v", s.Pause, s.Timeout)
+	}
+	if s.MSERBatch < 0 {
+		return fmt.Errorf("netprobe: negative MSER batch %d", s.MSERBatch)
+	}
+	return nil
+}
+
+// RunSession drives sender and receiver over an in-process pair of
+// goroutines: the sender emits spec.Trains trains (sessions numbered
+// from spec.Train.Session), the receiver collects each and the reports
+// are aggregated. Sender and receiver normally run on different hosts
+// via cmd/bwprobe; RunSession is the library form for single-host
+// (loopback or local bridge) measurements and tests.
+func RunSession(s *Sender, r *Receiver, spec SessionSpec) (*SessionReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &SessionReport{Trains: spec.Trains}
+
+	type recvResult struct {
+		rep *Report
+		err error
+	}
+	results := make(chan recvResult, spec.Trains)
+	go func() {
+		for t := 0; t < spec.Trains; t++ {
+			tr := spec.Train
+			tr.Session += uint32(t)
+			deadline := time.Now().Add(spec.Timeout)
+			out, err := r.ReceiveTrain(tr.Session, deadline)
+			results <- recvResult{out, err}
+		}
+	}()
+
+	// Give the receiver a moment to arm before the first packet flies.
+	time.Sleep(10 * time.Millisecond)
+	for t := 0; t < spec.Trains; t++ {
+		tr := spec.Train
+		tr.Session += uint32(t)
+		if _, err := s.SendTrain(tr); err != nil {
+			return rep, err
+		}
+		res := <-results
+		if res.err != nil && res.err != ErrTimeout {
+			return rep, res.err
+		}
+		rep.PerTrain = append(rep.PerTrain, res.rep)
+		if res.err == nil && res.rep.Received >= 2 {
+			rep.Completed++
+		}
+		if spec.Pause > 0 && t+1 < spec.Trains {
+			time.Sleep(spec.Pause)
+		}
+	}
+	aggregate(rep, spec)
+	return rep, nil
+}
+
+func aggregate(rep *SessionReport, spec SessionSpec) {
+	var gapSum float64
+	var n int
+	var rows [][]float64
+	for _, tr := range rep.PerTrain {
+		if tr == nil || tr.Received < 2 {
+			continue
+		}
+		gapSum += tr.OutputGap.Seconds()
+		n++
+		// Per-train inter-arrival gaps for the MSER ensemble.
+		var deps []float64
+		for _, at := range tr.Arrivals {
+			if !at.IsZero() {
+				deps = append(deps, float64(at.UnixNano())/1e9)
+			}
+		}
+		if len(deps) >= 3 {
+			rows = append(rows, core.Gaps(deps))
+		}
+	}
+	if n == 0 {
+		return
+	}
+	rep.MeanGap = gapSum / float64(n)
+	if rep.MeanGap > 0 {
+		rep.RateBps = float64(spec.Train.Size*8) / rep.MeanGap
+	}
+	if spec.MSERBatch > 0 && len(rows) > 0 {
+		g := core.CorrectedGapByPosition(rows, spec.MSERBatch)
+		if g > 0 {
+			rep.CorrectedRateBps = float64(spec.Train.Size*8) / g
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package netprobe
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSessionSpecValidate(t *testing.T) {
+	good := SessionSpec{
+		Train:   TrainSpec{N: 5, Gap: time.Millisecond, Size: 400, Session: 1},
+		Trains:  2,
+		Timeout: time.Second,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SessionSpec{
+		{Train: TrainSpec{N: 1, Size: 400}, Trains: 1, Timeout: time.Second},
+		{Train: good.Train, Trains: 0, Timeout: time.Second},
+		{Train: good.Train, Trains: 1, Timeout: 0},
+		{Train: good.Train, Trains: 1, Timeout: time.Second, Pause: -1},
+		{Train: good.Train, Trains: 1, Timeout: time.Second, MSERBatch: -1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestRunSessionLoopback(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	spec := SessionSpec{
+		Train:     TrainSpec{N: 8, Gap: time.Millisecond, Size: 500, Session: 100},
+		Trains:    3,
+		Pause:     5 * time.Millisecond,
+		Timeout:   3 * time.Second,
+		MSERBatch: 2,
+	}
+	rep, err := RunSession(snd, rcv, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("completed %d/3 trains", rep.Completed)
+	}
+	if rep.MeanGap <= 0 || rep.RateBps <= 0 {
+		t.Errorf("no aggregate estimate: gap %g rate %g", rep.MeanGap, rep.RateBps)
+	}
+	if rep.CorrectedRateBps <= 0 {
+		t.Errorf("no MSER-corrected estimate")
+	}
+	if len(rep.PerTrain) != 3 {
+		t.Errorf("%d per-train reports", len(rep.PerTrain))
+	}
+}
+
+func TestRunSessionNoMSER(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	spec := SessionSpec{
+		Train:   TrainSpec{N: 4, Gap: 500 * time.Microsecond, Size: 300, Session: 500},
+		Trains:  1,
+		Timeout: 3 * time.Second,
+	}
+	rep, err := RunSession(snd, rcv, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CorrectedRateBps != 0 {
+		t.Error("corrected estimate produced with MSER disabled")
+	}
+	if rep.Completed != 1 {
+		t.Errorf("completed = %d", rep.Completed)
+	}
+}
+
+func TestRunSessionInvalidSpec(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	if _, err := RunSession(snd, rcv, SessionSpec{}); err == nil {
+		t.Error("invalid session accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Package phy models the timing of IEEE 802.11 physical layers at the
+// level of detail needed by the DCF MAC engine: slot time, inter-frame
+// spaces, PLCP preamble/header overhead, and the airtime of data and
+// acknowledgement frames.
+//
+// The reproduction follows the paper's validation setup: 802.11b at
+// 11 Mb/s, long PLCP preamble, no RTS/CTS, ACKs at the basic rate.
+// Other profiles (short preamble, 802.11g/a) are provided both for
+// completeness and for the capacity-level ablation benches.
+package phy
+
+import (
+	"fmt"
+
+	"csmabw/internal/sim"
+)
+
+// MACHeaderBytes is the size of an 802.11 data-frame MAC header plus FCS
+// (3-address format: 24-byte header + 4-byte FCS).
+const MACHeaderBytes = 28
+
+// ACKBytes is the size of an ACK control frame (10-byte header + 4-byte FCS).
+const ACKBytes = 14
+
+// RTSBytes is the size of an RTS control frame (16-byte header + 4-byte FCS).
+const RTSBytes = 20
+
+// CTSBytes is the size of a CTS control frame (10-byte header + 4-byte FCS).
+const CTSBytes = 14
+
+// Params describes one PHY configuration. All rates are in bits per
+// second of the over-the-air modulation.
+type Params struct {
+	// Name identifies the profile in logs and experiment output.
+	Name string
+
+	// Slot is the backoff slot duration.
+	Slot sim.Time
+	// SIFS is the short inter-frame space (data -> ACK turnaround).
+	SIFS sim.Time
+	// DIFS is the DCF inter-frame space stations sense before contending.
+	DIFS sim.Time
+
+	// CWMin and CWMax bound the contention window (number of slots minus
+	// one, i.e. backoff is drawn uniformly from [0, CW]).
+	CWMin int
+	CWMax int
+
+	// RetryLimit is the maximum number of transmission attempts for one
+	// frame before it is dropped (long retry limit; 7 in 802.11b).
+	RetryLimit int
+
+	// Preamble is the PLCP preamble + header airtime prepended to every
+	// frame (192us for 802.11b long preamble, 96us short).
+	Preamble sim.Time
+
+	// DataRate is the payload modulation rate in bit/s.
+	DataRate float64
+	// BasicRate is the rate used for control frames (ACKs) in bit/s.
+	BasicRate float64
+	// ACKAtDataRate transmits ACKs at DataRate instead of BasicRate
+	// (used by the ablation bench; real 802.11b uses the basic rate).
+	ACKAtDataRate bool
+}
+
+// B11 returns the 802.11b profile used throughout the paper's
+// experiments: 11 Mb/s data rate, long preamble, 1 Mb/s basic rate.
+func B11() Params {
+	return Params{
+		Name:       "802.11b-11Mbps-long",
+		Slot:       20 * sim.Microsecond,
+		SIFS:       10 * sim.Microsecond,
+		DIFS:       50 * sim.Microsecond, // SIFS + 2*Slot
+		CWMin:      31,
+		CWMax:      1023,
+		RetryLimit: 7,
+		Preamble:   192 * sim.Microsecond,
+		DataRate:   11e6,
+		BasicRate:  1e6,
+	}
+}
+
+// B11Short is 802.11b with the short PLCP preamble and 2 Mb/s basic rate,
+// a common real-deployment variant with higher capacity.
+func B11Short() Params {
+	p := B11()
+	p.Name = "802.11b-11Mbps-short"
+	p.Preamble = 96 * sim.Microsecond
+	p.BasicRate = 2e6
+	return p
+}
+
+// G54 is a pure 802.11g profile (54 Mb/s OFDM, 9us slots). Included for
+// capacity-scaling experiments; the paper's testbed is 802.11b.
+func G54() Params {
+	return Params{
+		Name:       "802.11g-54Mbps",
+		Slot:       9 * sim.Microsecond,
+		SIFS:       10 * sim.Microsecond,
+		DIFS:       28 * sim.Microsecond,
+		CWMin:      15,
+		CWMax:      1023,
+		RetryLimit: 7,
+		Preamble:   20 * sim.Microsecond,
+		DataRate:   54e6,
+		BasicRate:  24e6,
+	}
+}
+
+// Validate reports a descriptive error when the parameter set is
+// internally inconsistent.
+func (p Params) Validate() error {
+	switch {
+	case p.Slot <= 0:
+		return fmt.Errorf("phy %q: slot %v must be positive", p.Name, p.Slot)
+	case p.SIFS <= 0:
+		return fmt.Errorf("phy %q: SIFS %v must be positive", p.Name, p.SIFS)
+	case p.DIFS < p.SIFS:
+		return fmt.Errorf("phy %q: DIFS %v shorter than SIFS %v", p.Name, p.DIFS, p.SIFS)
+	case p.CWMin < 1:
+		return fmt.Errorf("phy %q: CWMin %d must be >= 1", p.Name, p.CWMin)
+	case p.CWMax < p.CWMin:
+		return fmt.Errorf("phy %q: CWMax %d below CWMin %d", p.Name, p.CWMax, p.CWMin)
+	case p.RetryLimit < 1:
+		return fmt.Errorf("phy %q: retry limit %d must be >= 1", p.Name, p.RetryLimit)
+	case p.Preamble < 0:
+		return fmt.Errorf("phy %q: negative preamble %v", p.Name, p.Preamble)
+	case p.DataRate <= 0:
+		return fmt.Errorf("phy %q: data rate %g must be positive", p.Name, p.DataRate)
+	case p.BasicRate <= 0:
+		return fmt.Errorf("phy %q: basic rate %g must be positive", p.Name, p.BasicRate)
+	}
+	return nil
+}
+
+// airtime returns the duration of transmitting n payload bytes at rate
+// bits/s, plus the PLCP preamble.
+func (p Params) airtime(n int, rate float64) sim.Time {
+	bits := float64(n * 8)
+	return p.Preamble + sim.FromSeconds(bits/rate)
+}
+
+// DataTxTime returns the airtime of a data frame carrying payload bytes
+// of higher-layer data (the MAC header and FCS are added internally).
+func (p Params) DataTxTime(payload int) sim.Time {
+	return p.airtime(payload+MACHeaderBytes, p.DataRate)
+}
+
+// ACKTxTime returns the airtime of an ACK control frame.
+func (p Params) ACKTxTime() sim.Time {
+	rate := p.BasicRate
+	if p.ACKAtDataRate {
+		rate = p.DataRate
+	}
+	return p.airtime(ACKBytes, rate)
+}
+
+// RTSTxTime returns the airtime of an RTS control frame (basic rate).
+func (p Params) RTSTxTime() sim.Time { return p.airtime(RTSBytes, p.BasicRate) }
+
+// CTSTxTime returns the airtime of a CTS control frame (basic rate).
+func (p Params) CTSTxTime() sim.Time { return p.airtime(CTSBytes, p.BasicRate) }
+
+// SuccessExchangeTime is the channel occupancy of one successful frame
+// exchange: DATA + SIFS + ACK. The subsequent DIFS is accounted by the
+// MAC contention logic, not here.
+func (p Params) SuccessExchangeTime(payload int) sim.Time {
+	return p.DataTxTime(payload) + p.SIFS + p.ACKTxTime()
+}
+
+// RTSExchangeTime is the channel occupancy of a successful four-way
+// exchange: RTS + SIFS + CTS + SIFS + DATA + SIFS + ACK.
+func (p Params) RTSExchangeTime(payload int) sim.Time {
+	return p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS + p.SuccessExchangeTime(payload)
+}
+
+// CTSTimeout is how long an RTS sender waits for the CTS before
+// declaring the attempt failed.
+func (p Params) CTSTimeout() sim.Time {
+	return p.SIFS + p.CTSTxTime() + p.Slot
+}
+
+// ACKTimeout is how long a transmitter waits for an ACK before declaring
+// the attempt failed (SIFS + ACK airtime + one slot of grace).
+func (p Params) ACKTimeout() sim.Time {
+	return p.SIFS + p.ACKTxTime() + p.Slot
+}
+
+// EIFS is the extended inter-frame space used after a frame is received
+// in error (e.g. after overhearing a collision): SIFS + ACK airtime + DIFS.
+func (p Params) EIFS() sim.Time {
+	return p.SIFS + p.ACKTxTime() + p.DIFS
+}
+
+// MaxThroughput returns an upper bound on saturation throughput for a
+// single station sending fixed-size frames back to back: the payload
+// bits divided by the full per-frame cycle (DIFS + mean initial backoff +
+// DATA + SIFS + ACK). This is the "capacity" C of the WLAN link in the
+// sense of the paper's Figure 1, in bit/s.
+func (p Params) MaxThroughput(payload int) float64 {
+	meanBackoff := sim.Time(p.CWMin/2) * p.Slot
+	cycle := p.DIFS + meanBackoff + p.SuccessExchangeTime(payload)
+	return float64(payload*8) / cycle.Seconds()
+}
+
+// TxTimeAtRate exposes raw airtime computation for callers that model
+// non-data frames (used by tests and by the queueing simulator when it
+// replays service times).
+func (p Params) TxTimeAtRate(bytes int, rate float64) sim.Time {
+	if rate <= 0 {
+		panic("phy: non-positive rate")
+	}
+	return p.airtime(bytes, rate)
+}

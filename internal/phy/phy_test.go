@@ -1,0 +1,184 @@
+package phy
+
+import (
+	"strings"
+	"testing"
+
+	"csmabw/internal/sim"
+)
+
+func TestB11Defaults(t *testing.T) {
+	p := B11()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("B11 invalid: %v", err)
+	}
+	if p.Slot != 20*sim.Microsecond {
+		t.Errorf("slot = %v, want 20us", p.Slot)
+	}
+	if p.SIFS != 10*sim.Microsecond {
+		t.Errorf("SIFS = %v, want 10us", p.SIFS)
+	}
+	if p.DIFS != p.SIFS+2*p.Slot {
+		t.Errorf("DIFS = %v, want SIFS+2*slot", p.DIFS)
+	}
+	if p.CWMin != 31 || p.CWMax != 1023 {
+		t.Errorf("CW = [%d,%d], want [31,1023]", p.CWMin, p.CWMax)
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range []Params{B11(), B11Short(), G54()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func(mut func(*Params)) Params {
+		p := B11()
+		mut(&p)
+		return p
+	}
+	tests := []struct {
+		name string
+		p    Params
+		frag string
+	}{
+		{"zero slot", mk(func(p *Params) { p.Slot = 0 }), "slot"},
+		{"zero sifs", mk(func(p *Params) { p.SIFS = 0 }), "SIFS"},
+		{"difs < sifs", mk(func(p *Params) { p.DIFS = 5 * sim.Microsecond }), "DIFS"},
+		{"cwmin", mk(func(p *Params) { p.CWMin = 0 }), "CWMin"},
+		{"cwmax", mk(func(p *Params) { p.CWMax = 7 }), "CWMax"},
+		{"retry", mk(func(p *Params) { p.RetryLimit = 0 }), "retry"},
+		{"preamble", mk(func(p *Params) { p.Preamble = -1 }), "preamble"},
+		{"data rate", mk(func(p *Params) { p.DataRate = 0 }), "data rate"},
+		{"basic rate", mk(func(p *Params) { p.BasicRate = -1 }), "basic rate"},
+	}
+	for _, tt := range tests {
+		err := tt.p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() accepted bad params", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.frag)
+		}
+	}
+}
+
+func TestDataTxTime11b(t *testing.T) {
+	p := B11()
+	// 1500B payload + 28B MAC = 1528B = 12224 bits at 11 Mb/s = 1111.27us
+	// plus 192us preamble = 1303.27us.
+	got := p.DataTxTime(1500)
+	want := sim.FromMicros(192 + 12224.0/11.0)
+	if diff := got - want; diff > sim.Microsecond || diff < -sim.Microsecond {
+		t.Errorf("DataTxTime(1500) = %v, want ~%v", got, want)
+	}
+}
+
+func TestACKTxTime(t *testing.T) {
+	p := B11()
+	// 14 bytes at 1 Mb/s = 112us + 192us preamble = 304us.
+	got := p.ACKTxTime()
+	want := sim.FromMicros(304)
+	if got != want {
+		t.Errorf("ACKTxTime = %v, want %v", got, want)
+	}
+}
+
+func TestACKAtDataRate(t *testing.T) {
+	p := B11()
+	p.ACKAtDataRate = true
+	slow := B11().ACKTxTime()
+	fast := p.ACKTxTime()
+	if fast >= slow {
+		t.Errorf("ACK at data rate (%v) should be shorter than basic rate (%v)", fast, slow)
+	}
+}
+
+func TestSuccessExchangeTime(t *testing.T) {
+	p := B11()
+	got := p.SuccessExchangeTime(1000)
+	want := p.DataTxTime(1000) + p.SIFS + p.ACKTxTime()
+	if got != want {
+		t.Errorf("SuccessExchangeTime = %v, want %v", got, want)
+	}
+}
+
+func TestTxTimeMonotonicInSize(t *testing.T) {
+	p := B11()
+	prev := sim.Time(0)
+	for _, size := range []int{40, 100, 576, 1000, 1500} {
+		tx := p.DataTxTime(size)
+		if tx <= prev {
+			t.Fatalf("airtime not increasing at size %d: %v <= %v", size, tx, prev)
+		}
+		prev = tx
+	}
+}
+
+func TestACKTimeoutAndEIFS(t *testing.T) {
+	p := B11()
+	if p.ACKTimeout() != p.SIFS+p.ACKTxTime()+p.Slot {
+		t.Errorf("ACKTimeout = %v", p.ACKTimeout())
+	}
+	if p.EIFS() != p.SIFS+p.ACKTxTime()+p.DIFS {
+		t.Errorf("EIFS = %v", p.EIFS())
+	}
+	if p.EIFS() <= p.DIFS {
+		t.Error("EIFS must exceed DIFS")
+	}
+}
+
+func TestMaxThroughput11b(t *testing.T) {
+	p := B11()
+	c := p.MaxThroughput(1500)
+	// Known envelope for 802.11b/11Mb/s long preamble, 1500B UDP-ish
+	// frames: roughly 5.5–7 Mb/s depending on overhead accounting.
+	if c < 5.0e6 || c > 7.5e6 {
+		t.Errorf("MaxThroughput(1500) = %.2f Mb/s, outside [5.0, 7.5]", c/1e6)
+	}
+	// The paper's Figure 1 reports C = 6.5 Mb/s on its testbed; our model
+	// should land in that neighbourhood.
+	if c < 5.5e6 || c > 7.2e6 {
+		t.Errorf("MaxThroughput(1500) = %.2f Mb/s, not near the paper's 6.5", c/1e6)
+	}
+}
+
+func TestMaxThroughputSmallerFramesLower(t *testing.T) {
+	p := B11()
+	if p.MaxThroughput(100) >= p.MaxThroughput(1500) {
+		t.Error("small frames should have lower max throughput (fixed overheads dominate)")
+	}
+}
+
+func TestG54FasterThanB11(t *testing.T) {
+	if G54().MaxThroughput(1500) <= B11().MaxThroughput(1500) {
+		t.Error("802.11g should out-carry 802.11b")
+	}
+}
+
+func TestShortPreambleFaster(t *testing.T) {
+	if B11Short().MaxThroughput(1500) <= B11().MaxThroughput(1500) {
+		t.Error("short preamble should raise capacity")
+	}
+}
+
+func TestTxTimeAtRate(t *testing.T) {
+	p := B11()
+	got := p.TxTimeAtRate(14, 1e6)
+	if got != p.ACKTxTime() {
+		t.Errorf("TxTimeAtRate(14, 1e6) = %v, want ACK time %v", got, p.ACKTxTime())
+	}
+}
+
+func TestTxTimeAtRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rate")
+		}
+	}()
+	B11().TxTimeAtRate(10, 0)
+}

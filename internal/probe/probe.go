@@ -1,0 +1,387 @@
+// Package probe implements active dispersion-based bandwidth
+// measurement over the simulated CSMA/CA link: periodic probing trains
+// (Section 5.1.2), output-gap dispersion measurements (Eq. 16),
+// packet-pair probing (Section 7.3), and long-train steady-state rate
+// response measurements (the ">10000 packets" curves of Figs. 1 and 4).
+//
+// A Link describes the paper's validation scenario (Fig. 2/3): one
+// measured station whose FIFO transmission queue carries the probing
+// flow and optionally FIFO cross-traffic, contending against any number
+// of cross-traffic stations. Measurements replicate the experiment many
+// times with independent seeds and Poisson-spaced train starts, exactly
+// as the paper repeats experiments 80+ times on the testbed and
+// 25000-70000 times in simulation.
+package probe
+
+import (
+	"fmt"
+
+	"csmabw/internal/mac"
+	"csmabw/internal/phy"
+	"csmabw/internal/sim"
+	"csmabw/internal/traffic"
+)
+
+// Flow is a cross-traffic flow: rate in bit/s and fixed packet size in
+// bytes. By default arrivals are Poisson (the paper's cross-traffic
+// model); setting OnMean/OffMean switches to a bursty on/off process
+// with the same average rate, the knob for the Section 6.3 burstiness
+// discussion.
+type Flow struct {
+	RateBps float64
+	Size    int
+	// OnMean/OffMean, when both positive, select an on/off process:
+	// exponential ON bursts at peak rate RateBps*(OnMean+OffMean)/OnMean
+	// separated by exponential OFF periods, preserving RateBps on
+	// average.
+	OnMean, OffMean sim.Time
+}
+
+// schedule realises the flow over [0, end).
+func (f Flow) schedule(r *sim.Rand, end sim.Time) []traffic.Arrival {
+	if f.OnMean > 0 && f.OffMean > 0 {
+		duty := float64(f.OnMean) / float64(f.OnMean+f.OffMean)
+		return traffic.OnOff(r, f.RateBps/duty, f.Size, f.OnMean, f.OffMean, 0, end)
+	}
+	return traffic.Poisson(r, f.RateBps, f.Size, 0, end)
+}
+
+// Link is the measured WLAN scenario.
+type Link struct {
+	// Phy is the PHY profile (defaults to phy.B11 when zero Name).
+	Phy phy.Params
+	// ProbeSize is the probing packet payload in bytes (default 1500).
+	ProbeSize int
+	// FIFOCross are Poisson flows sharing the probing station's FIFO
+	// queue (the "FIFO cross-traffic" of Fig. 3).
+	FIFOCross []Flow
+	// Contenders are Poisson flows on separate stations contending for
+	// channel access (the "contending cross-traffic").
+	Contenders []Flow
+	// WarmUp is how long cross-traffic runs before the probing flow
+	// starts, letting the contending queues reach their stationary
+	// regime (default 500ms). The paper's transient appears because the
+	// *probing flow* starts, not because the cross-traffic is cold.
+	WarmUp sim.Time
+	// Seed drives all randomness. Replication r uses an independent
+	// derived stream.
+	Seed int64
+}
+
+// WithDefaults returns a copy of the link with zero fields replaced by
+// the paper-standard defaults (802.11b PHY, 1500-byte probes, 500ms
+// warm-up).
+func (l Link) WithDefaults() Link {
+	if l.Phy.Name == "" {
+		l.Phy = phy.B11()
+	}
+	if l.ProbeSize == 0 {
+		l.ProbeSize = 1500
+	}
+	if l.WarmUp == 0 {
+		l.WarmUp = 500 * sim.Millisecond
+	}
+	return l
+}
+
+// TrainSample is the outcome of one probing-train replication.
+type TrainSample struct {
+	// Delivered probe frames' departure times, indexed by train index;
+	// a packet that was dropped holds -1.
+	Departures []sim.Time
+	// AccessDelays per train index in seconds (-1 when dropped).
+	AccessDelays []float64
+	// QueueAtDepart is the first contender's queue length sampled at
+	// each probe departure (Fig. 8 bottom); empty without contenders.
+	QueueAtDepart []float64
+	// GO is the measured output gap (Eq. 16); 0 when fewer than two
+	// probe packets were delivered.
+	GO sim.Time
+}
+
+// TrainStats aggregates a set of replications of the same train.
+type TrainStats struct {
+	N    int      // packets per train
+	GI   sim.Time // input gap
+	L    int      // probe payload bytes
+	Reps int
+
+	// Samples holds each replication.
+	Samples []TrainSample
+}
+
+// scenario builds the mac.Config for one replication. The probing train
+// starts WarmUp plus an exponential offset after time zero — the
+// paper's "Poisson spacing between probing sequences" that guarantees
+// the trains sample the cross-traffic process in random phase.
+func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
+	r := sim.NewRand(l.Seed).Split(uint64(rep) + 0x5eed)
+	start := l.WarmUp + r.ExpTime(50*sim.Millisecond)
+
+	// Horizon: enough for the train to drain even under saturation.
+	// A probe packet's service rarely exceeds ~20ms even with several
+	// saturated contenders; 40ms/packet is a generous envelope.
+	drain := sim.Time(n)*gI + sim.Time(n)*40*sim.Millisecond + 200*sim.Millisecond
+	end := start + drain
+
+	probeSched := traffic.Train(n, gI, l.ProbeSize, start)
+	station0 := []([]traffic.Arrival){probeSched}
+	for fi, f := range l.FIFOCross {
+		station0 = append(station0,
+			f.schedule(r.Split(uint64(fi)+100), end))
+	}
+	cfg := mac.Config{
+		Phy:  l.Phy,
+		Seed: l.Seed ^ (rep+1)*0x9e3779b9,
+	}
+	cfg.Stations = append(cfg.Stations, mac.StationConfig{
+		Name:     "probe",
+		Arrivals: traffic.Merge(station0...),
+	})
+	for ci, f := range l.Contenders {
+		cfg.Stations = append(cfg.Stations, mac.StationConfig{
+			Name:     fmt.Sprintf("contender-%d", ci),
+			Arrivals: f.schedule(r.Split(uint64(ci)+200), end),
+		})
+	}
+	return cfg, end
+}
+
+// MeasureTrain sends reps independent replications of an n-packet train
+// with input gap corresponding to rateBps and collects the dispersion
+// and per-index access delays.
+func MeasureTrain(l Link, n int, rateBps float64, reps int) (*TrainStats, error) {
+	l = l.WithDefaults()
+	if n < 1 {
+		return nil, fmt.Errorf("probe: train length %d", n)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("probe: %d replications", reps)
+	}
+	var gI sim.Time
+	if rateBps > 0 {
+		gI = sim.FromSeconds(float64(l.ProbeSize*8) / rateBps)
+	}
+	ts := &TrainStats{N: n, GI: gI, L: l.ProbeSize, Reps: reps}
+	for rep := 0; rep < reps; rep++ {
+		cfg, end := l.scenario(n, gI, int64(rep))
+		sample := TrainSample{
+			Departures:   make([]sim.Time, n),
+			AccessDelays: make([]float64, n),
+		}
+		for i := range sample.Departures {
+			sample.Departures[i] = -1
+			sample.AccessDelays[i] = -1
+		}
+		if len(l.Contenders) > 0 {
+			sample.QueueAtDepart = make([]float64, 0, n)
+			cfg.OnDepart = func(e *mac.Engine, f *mac.Frame) {
+				if f.Probe {
+					sample.QueueAtDepart = append(sample.QueueAtDepart, float64(e.QueueLen(1)))
+				}
+			}
+		}
+		cfg.Horizon = end
+		res, err := mac.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range res.ProbeFrames(0) {
+			if f.Index >= 0 && f.Index < n {
+				sample.Departures[f.Index] = f.Departed
+				sample.AccessDelays[f.Index] = f.AccessDelay().Seconds()
+			}
+		}
+		sample.GO = outputGap(sample.Departures)
+		ts.Samples = append(ts.Samples, sample)
+	}
+	return ts, nil
+}
+
+// outputGap computes (d_last - d_first)/(count-1) over delivered probes.
+func outputGap(deps []sim.Time) sim.Time {
+	first, last := sim.Time(-1), sim.Time(-1)
+	count := 0
+	for _, d := range deps {
+		if d < 0 {
+			continue
+		}
+		if first < 0 {
+			first = d
+		}
+		last = d
+		count++
+	}
+	if count < 2 {
+		return 0
+	}
+	return (last - first) / sim.Time(count-1)
+}
+
+// MeanGO returns the limiting-average output gap E[gO] in seconds over
+// all replications that delivered at least two probes.
+func (ts *TrainStats) MeanGO() float64 {
+	sum, n := 0.0, 0
+	for _, s := range ts.Samples {
+		if s.GO > 0 {
+			sum += s.GO.Seconds()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RateEstimate is the dispersion-based rate inference L/E[gO] in bit/s
+// (Section 5.3's estimator of ro).
+func (ts *TrainStats) RateEstimate() float64 {
+	g := ts.MeanGO()
+	if g <= 0 {
+		return 0
+	}
+	return float64(ts.L*8) / g
+}
+
+// DelaysByIndex returns the replication-by-index access delay matrix in
+// seconds, skipping dropped packets (rows keep their length; dropped
+// entries are removed per row from the tail comparisons by callers via
+// the -1 sentinel filter).
+func (ts *TrainStats) DelaysByIndex() [][]float64 {
+	out := make([][]float64, 0, len(ts.Samples))
+	for _, s := range ts.Samples {
+		row := make([]float64, 0, len(s.AccessDelays))
+		for _, d := range s.AccessDelays {
+			if d >= 0 {
+				row = append(row, d)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// QueueByIndex returns the replication-by-index contender queue-length
+// matrix.
+func (ts *TrainStats) QueueByIndex() [][]float64 {
+	out := make([][]float64, 0, len(ts.Samples))
+	for _, s := range ts.Samples {
+		out = append(out, s.QueueAtDepart)
+	}
+	return out
+}
+
+// InterDepartureGaps concatenates, over replications, the successive
+// inter-departure gaps of each train (seconds) — the input for the
+// MSER correction of Section 7.4. Gaps spanning a dropped packet are
+// omitted.
+func (ts *TrainStats) InterDepartureGaps() [][]float64 {
+	out := make([][]float64, 0, len(ts.Samples))
+	for _, s := range ts.Samples {
+		var row []float64
+		prev := sim.Time(-1)
+		for _, d := range s.Departures {
+			if d < 0 {
+				prev = -1
+				continue
+			}
+			if prev >= 0 {
+				row = append(row, (d - prev).Seconds())
+			}
+			prev = d
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// MeasurePair runs packet-pair probing (a 2-packet train at infinite
+// rate) and returns the mean dispersion-based capacity estimate in
+// bit/s over reps replications.
+func MeasurePair(l Link, reps int) (float64, error) {
+	ts, err := MeasureTrain(l, 2, 0, reps)
+	if err != nil {
+		return 0, err
+	}
+	return ts.RateEstimate(), nil
+}
+
+// SteadyState measures the steady-state operating point at probing rate
+// rateBps using one long constant-rate probing flow of the given
+// duration (the paper uses >10000-packet trains). It returns the probe
+// output rate and the carried rate of every other flow.
+type SteadyState struct {
+	ProbeRate   float64   // carried probing rate ro, bit/s
+	FIFORate    float64   // carried FIFO cross-traffic on the probe station
+	CrossRates  []float64 // carried rate per contender
+	MeasureFrom sim.Time
+	MeasureTo   sim.Time
+}
+
+// MeasureSteadyState runs the long-train experiment at rate rateBps for
+// the given duration (excluding warm-up).
+func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyState, error) {
+	l = l.WithDefaults()
+	if rateBps <= 0 {
+		return nil, fmt.Errorf("probe: steady state needs positive rate, got %g", rateBps)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("probe: non-positive duration %v", duration)
+	}
+	r := sim.NewRand(l.Seed).Split(0xabcd)
+	start := l.WarmUp
+	end := start + duration
+
+	probeSched := traffic.MarkProbe(traffic.CBR(rateBps, l.ProbeSize, start, end))
+	station0 := []([]traffic.Arrival){probeSched}
+	for fi, f := range l.FIFOCross {
+		station0 = append(station0,
+			f.schedule(r.Split(uint64(fi)+100), end))
+	}
+	cfg := mac.Config{
+		Phy:     l.Phy,
+		Seed:    l.Seed,
+		Horizon: end,
+	}
+	cfg.Stations = append(cfg.Stations, mac.StationConfig{
+		Name:     "probe",
+		Arrivals: traffic.Merge(station0...),
+	})
+	for ci, f := range l.Contenders {
+		cfg.Stations = append(cfg.Stations, mac.StationConfig{
+			Name:     fmt.Sprintf("contender-%d", ci),
+			Arrivals: f.schedule(r.Split(uint64(ci)+200), end),
+		})
+	}
+	res, err := mac.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip the first quarter of the measurement window: the probing flow
+	// itself needs to reach its stationary interaction (Section 4).
+	from := start + duration/4
+	to := end
+	ss := &SteadyState{MeasureFrom: from, MeasureTo: to}
+
+	// Split station-0 throughput into probe and FIFO shares.
+	var probeBits, fifoBits int64
+	for _, f := range res.Frames[0] {
+		if f.Departed < from || f.Departed > to {
+			continue
+		}
+		if f.Probe {
+			probeBits += int64(f.Size) * 8
+		} else {
+			fifoBits += int64(f.Size) * 8
+		}
+	}
+	win := (to - from).Seconds()
+	ss.ProbeRate = float64(probeBits) / win
+	ss.FIFORate = float64(fifoBits) / win
+	for ci := range l.Contenders {
+		ss.CrossRates = append(ss.CrossRates, res.Throughput(ci+1, from, to))
+	}
+	return ss, nil
+}

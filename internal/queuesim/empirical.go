@@ -1,0 +1,142 @@
+package queuesim
+
+import (
+	"fmt"
+	"sort"
+
+	"csmabw/internal/sim"
+)
+
+// EmpiricalDist is a sampleable empirical distribution built from
+// observations, using inverse-transform sampling on the linearly
+// interpolated ECDF. It is how the reproduction mirrors the paper's
+// Matlab workflow: "The input parameters are gathered from
+// experimentation measurements in order to keep the results as close to
+// the real behavior as possible" (Appendix A).
+type EmpiricalDist struct {
+	sorted []float64 // seconds
+}
+
+// NewEmpiricalDist builds a distribution from observations in seconds.
+func NewEmpiricalDist(obs []float64) (*EmpiricalDist, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("queuesim: empirical distribution needs observations")
+	}
+	s := append([]float64(nil), obs...)
+	sort.Float64s(s)
+	if s[0] < 0 {
+		return nil, fmt.Errorf("queuesim: negative observation %g", s[0])
+	}
+	return &EmpiricalDist{sorted: s}, nil
+}
+
+// Len is the number of underlying observations.
+func (d *EmpiricalDist) Len() int { return len(d.sorted) }
+
+// Mean is the observation mean in seconds.
+func (d *EmpiricalDist) Mean() float64 {
+	sum := 0.0
+	for _, v := range d.sorted {
+		sum += v
+	}
+	return sum / float64(len(d.sorted))
+}
+
+// Sample draws one value (seconds) by inverse-transform sampling with
+// linear interpolation between order statistics.
+func (d *EmpiricalDist) Sample(r *sim.Rand) float64 {
+	n := len(d.sorted)
+	if n == 1 {
+		return d.sorted[0]
+	}
+	u := r.Float64() * float64(n-1)
+	i := int(u)
+	if i >= n-1 {
+		return d.sorted[n-1]
+	}
+	frac := u - float64(i)
+	return d.sorted[i]*(1-frac) + d.sorted[i+1]*frac
+}
+
+// ServiceModel supplies per-packet-index service-time distributions for
+// replaying a probing train through the FIFO queue: index i (0-based)
+// uses Dists[min(i, len(Dists)-1)], so a model built from the first k
+// indices extends naturally into the steady state.
+type ServiceModel struct {
+	Dists []*EmpiricalDist
+}
+
+// NewServiceModel builds a per-index model from a replication-by-index
+// delay matrix (rows[r][i] = access delay of packet i in replication r,
+// seconds) — exactly the data probe.TrainStats.DelaysByIndex yields.
+func NewServiceModel(rows [][]float64) (*ServiceModel, error) {
+	maxLen := 0
+	for _, r := range rows {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	if maxLen == 0 {
+		return nil, fmt.Errorf("queuesim: empty delay matrix")
+	}
+	m := &ServiceModel{}
+	for i := 0; i < maxLen; i++ {
+		var col []float64
+		for _, r := range rows {
+			if i < len(r) {
+				col = append(col, r[i])
+			}
+		}
+		d, err := NewEmpiricalDist(col)
+		if err != nil {
+			return nil, fmt.Errorf("queuesim: index %d: %w", i, err)
+		}
+		m.Dists = append(m.Dists, d)
+	}
+	return m, nil
+}
+
+// at returns the distribution for packet index i.
+func (m *ServiceModel) at(i int) *EmpiricalDist {
+	if i >= len(m.Dists) {
+		i = len(m.Dists) - 1
+	}
+	return m.Dists[i]
+}
+
+// ReplayTrain simulates one n-packet probing train with input gap gI
+// through the FIFO queue, drawing each packet's service time from its
+// per-index distribution. It returns the departures.
+func (m *ServiceModel) ReplayTrain(r *sim.Rand, n int, gI sim.Time) ([]Departure, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("queuesim: train of %d packets", n)
+	}
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job{
+			Arrive:  sim.Time(i) * gI,
+			Service: sim.FromSeconds(m.at(i).Sample(r)),
+			Probe:   true,
+			Index:   i,
+		}
+	}
+	return Simulate(jobs)
+}
+
+// ReplayDispersion runs reps independent train replays and returns the
+// mean output gap in seconds — the queueing-simulator estimate of
+// E[gO] that the paper cross-validates against NS2 and the testbed.
+func (m *ServiceModel) ReplayDispersion(r *sim.Rand, n int, gI sim.Time, reps int) (float64, error) {
+	if reps < 1 {
+		return 0, fmt.Errorf("queuesim: %d replications", reps)
+	}
+	sum := 0.0
+	for rep := 0; rep < reps; rep++ {
+		deps, err := m.ReplayTrain(r.Split(uint64(rep)+1), n, gI)
+		if err != nil {
+			return 0, err
+		}
+		sum += OutputGap(deps).Seconds()
+	}
+	return sum / float64(reps), nil
+}

@@ -1,0 +1,177 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+
+	"csmabw/internal/sim"
+)
+
+func TestEmpiricalDistErrors(t *testing.T) {
+	if _, err := NewEmpiricalDist(nil); err == nil {
+		t.Error("empty observations accepted")
+	}
+	if _, err := NewEmpiricalDist([]float64{-1}); err == nil {
+		t.Error("negative observation accepted")
+	}
+}
+
+func TestEmpiricalDistSingleValue(t *testing.T) {
+	d, err := NewEmpiricalDist([]float64{0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(r); got != 0.005 {
+			t.Fatalf("sample = %g", got)
+		}
+	}
+	if d.Mean() != 0.005 || d.Len() != 1 {
+		t.Errorf("mean %g len %d", d.Mean(), d.Len())
+	}
+}
+
+func TestEmpiricalDistSamplesWithinSupport(t *testing.T) {
+	obs := []float64{0.001, 0.002, 0.004, 0.010}
+	d, err := NewEmpiricalDist(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(2)
+	for i := 0; i < 5000; i++ {
+		v := d.Sample(r)
+		if v < 0.001 || v > 0.010 {
+			t.Fatalf("sample %g outside support", v)
+		}
+	}
+}
+
+func TestEmpiricalDistMeanPreserved(t *testing.T) {
+	// Sampling many values reproduces the observation mean closely.
+	r := sim.NewRand(3)
+	var obs []float64
+	for i := 0; i < 500; i++ {
+		obs = append(obs, r.Exp(0.003))
+	}
+	d, err := NewEmpiricalDist(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		sum += d.Sample(r)
+	}
+	got := sum / draws
+	if math.Abs(got-d.Mean()) > 0.05*d.Mean() {
+		t.Errorf("sampled mean %g vs observation mean %g", got, d.Mean())
+	}
+}
+
+func TestNewServiceModel(t *testing.T) {
+	rows := [][]float64{
+		{0.001, 0.002, 0.003},
+		{0.0015, 0.0025},
+		{0.0012, 0.0022, 0.0032},
+	}
+	m, err := NewServiceModel(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Dists) != 3 {
+		t.Fatalf("%d index distributions", len(m.Dists))
+	}
+	if m.Dists[0].Len() != 3 || m.Dists[1].Len() != 3 || m.Dists[2].Len() != 2 {
+		t.Errorf("column sizes: %d %d %d", m.Dists[0].Len(), m.Dists[1].Len(), m.Dists[2].Len())
+	}
+	// Index beyond the model reuses the last distribution.
+	if m.at(10) != m.Dists[2] {
+		t.Error("index extension broken")
+	}
+}
+
+func TestNewServiceModelEmpty(t *testing.T) {
+	if _, err := NewServiceModel(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestReplayTrainSlowProbing(t *testing.T) {
+	// Constant 1ms service, gI = 10ms: gO must equal gI.
+	rows := [][]float64{{0.001, 0.001, 0.001}}
+	m, err := NewServiceModel(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(4)
+	deps, err := m.ReplayTrain(r, 10, 10*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OutputGap(deps); got != 10*sim.Millisecond {
+		t.Errorf("gO = %v, want 10ms", got)
+	}
+}
+
+func TestReplayTrainSaturated(t *testing.T) {
+	// gI = 0: gO equals the mean service time of packets 2..n.
+	rows := [][]float64{{0.002, 0.002, 0.002}}
+	m, err := NewServiceModel(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(5)
+	g, err := m.ReplayDispersion(r, 10, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.002) > 1e-9 {
+		t.Errorf("saturated gO = %g, want 0.002", g)
+	}
+}
+
+func TestReplayTransientShowsInDispersion(t *testing.T) {
+	// Per-index means rising from 1ms to 2ms over the first 5 indices:
+	// saturated dispersion of a short train must fall below that of a
+	// long (steady) train — the short-train optimism.
+	var rows [][]float64
+	for rep := 0; rep < 200; rep++ {
+		row := make([]float64, 50)
+		for i := range row {
+			base := 0.002
+			if i < 5 {
+				base = 0.001 + 0.0002*float64(i)
+			}
+			row[i] = base
+		}
+		rows = append(rows, row)
+	}
+	m, err := NewServiceModel(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRand(6)
+	short, err := m.ReplayDispersion(r, 5, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := m.ReplayDispersion(r, 50, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short >= long {
+		t.Errorf("short-train gO %g not below long-train %g", short, long)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	m, _ := NewServiceModel([][]float64{{0.001}})
+	r := sim.NewRand(7)
+	if _, err := m.ReplayTrain(r, 0, 0); err == nil {
+		t.Error("zero-length train accepted")
+	}
+	if _, err := m.ReplayDispersion(r, 2, 0, 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+}

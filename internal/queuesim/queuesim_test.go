@@ -1,0 +1,300 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"csmabw/internal/sim"
+)
+
+func ms(x float64) sim.Time { return sim.FromSeconds(x / 1000) }
+
+func TestSimulateNoQueueing(t *testing.T) {
+	jobs := []Job{
+		{Arrive: ms(0), Service: ms(1)},
+		{Arrive: ms(10), Service: ms(1)},
+	}
+	deps, err := Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deps[0].Depart != ms(1) || deps[1].Depart != ms(11) {
+		t.Errorf("departures %v, %v", deps[0].Depart, deps[1].Depart)
+	}
+	if deps[1].Wait() != 0 {
+		t.Errorf("unexpected wait %v", deps[1].Wait())
+	}
+}
+
+func TestSimulateLindleyRecursion(t *testing.T) {
+	// Back-to-back arrivals: each waits for its predecessor.
+	jobs := []Job{
+		{Arrive: 0, Service: ms(2)},
+		{Arrive: 0, Service: ms(3)},
+		{Arrive: ms(1), Service: ms(1)},
+	}
+	deps, err := Simulate(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []sim.Time{ms(2), ms(5), ms(6)}
+	for i, w := range wants {
+		if deps[i].Depart != w {
+			t.Errorf("job %d departs %v, want %v", i, deps[i].Depart, w)
+		}
+	}
+	if deps[1].Wait() != ms(2) || deps[2].Wait() != ms(4) {
+		t.Errorf("waits %v, %v", deps[1].Wait(), deps[2].Wait())
+	}
+	if deps[2].Sojourn() != ms(5) {
+		t.Errorf("sojourn %v", deps[2].Sojourn())
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate([]Job{{Arrive: 0, Service: -1}}); err == nil {
+		t.Error("negative service accepted")
+	}
+	if _, err := Simulate([]Job{{Arrive: 5}, {Arrive: 1}}); err == nil {
+		t.Error("unordered arrivals accepted")
+	}
+}
+
+func TestProbesOrdering(t *testing.T) {
+	jobs := []Job{
+		{Arrive: 0, Service: 1, Probe: true, Index: 0},
+		{Arrive: 1, Service: 1, Probe: false, Index: -1},
+		{Arrive: 2, Service: 1, Probe: true, Index: 1},
+	}
+	deps, _ := Simulate(jobs)
+	ps := Probes(deps)
+	if len(ps) != 2 || ps[0].Index != 0 || ps[1].Index != 1 {
+		t.Fatalf("probes = %+v", ps)
+	}
+}
+
+func TestOutputGapUncongested(t *testing.T) {
+	// Probe train with gI larger than service: gO == gI.
+	gI := ms(5)
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, Job{Arrive: sim.Time(i) * gI, Service: ms(1), Probe: true, Index: i})
+	}
+	deps, _ := Simulate(jobs)
+	if got := OutputGap(deps); got != gI {
+		t.Errorf("gO = %v, want gI = %v", got, gI)
+	}
+}
+
+func TestOutputGapSaturated(t *testing.T) {
+	// gI smaller than service: packets queue and gO == service time.
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, Job{Arrive: sim.Time(i) * ms(1), Service: ms(4), Probe: true, Index: i})
+	}
+	deps, _ := Simulate(jobs)
+	if got := OutputGap(deps); got != ms(4) {
+		t.Errorf("gO = %v, want service time 4ms", got)
+	}
+}
+
+func TestOutputGapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic with one probe")
+		}
+	}()
+	deps, _ := Simulate([]Job{{Arrive: 0, Service: 1, Probe: true}})
+	OutputGap(deps)
+}
+
+func TestWorkload(t *testing.T) {
+	jobs := []Job{
+		{Arrive: 0, Service: ms(4)},
+		{Arrive: ms(1), Service: ms(2)},
+	}
+	// At t=1ms: first job has 3ms left, second fully queued: W = 5ms.
+	if got := Workload(jobs, ms(1), nil); got != ms(5) {
+		t.Errorf("W(1ms) = %v, want 5ms", got)
+	}
+	// At t=6ms: both done.
+	if got := Workload(jobs, ms(6), nil); got != 0 {
+		t.Errorf("W(6ms) = %v, want 0", got)
+	}
+	// Excluding the second job: only 3ms left at t=1ms.
+	excl := func(j Job) bool { return j.Arrive == ms(1) }
+	if got := Workload(jobs, ms(1), excl); got != ms(3) {
+		t.Errorf("W_excl(1ms) = %v, want 3ms", got)
+	}
+}
+
+func TestWorkloadFutureArrivalsIgnored(t *testing.T) {
+	jobs := []Job{{Arrive: ms(10), Service: ms(5)}}
+	if got := Workload(jobs, ms(1), nil); got != 0 {
+		t.Errorf("W before any arrival = %v", got)
+	}
+}
+
+func TestIntrusionResidualZeroWhenSlow(t *testing.T) {
+	// mu << gI: no residual accumulates (R_i = 0 for all i).
+	mu := []sim.Time{ms(1), ms(1), ms(1), ms(1)}
+	r := IntrusionResidual(mu, nil, ms(10))
+	for i, v := range r {
+		if v != 0 {
+			t.Errorf("R[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestIntrusionResidualAccumulatesWhenFast(t *testing.T) {
+	// mu > gI: residual grows by (mu - gI) each step.
+	mu := []sim.Time{ms(3), ms(3), ms(3)}
+	r := IntrusionResidual(mu, nil, ms(1))
+	if r[0] != 0 || r[1] != ms(2) || r[2] != ms(4) {
+		t.Errorf("R = %v", r)
+	}
+}
+
+func TestIntrusionResidualWithUtilization(t *testing.T) {
+	// With ufifo = 0.5 only half the gap drains the queue.
+	mu := []sim.Time{ms(1), ms(1)}
+	u := []float64{0.5}
+	r := IntrusionResidual(mu, u, ms(1))
+	if r[1] != ms(0.5) {
+		t.Errorf("R[1] = %v, want 0.5ms", r[1])
+	}
+}
+
+func TestIntrusionResidualMatchesSimulate(t *testing.T) {
+	// With no cross-traffic, the residual recursion must agree with the
+	// actual FIFO wait of each probe packet: R_i == Wait_i.
+	gI := ms(2)
+	mus := []sim.Time{ms(3), ms(1), ms(4), ms(2), ms(3)}
+	var jobs []Job
+	for i, m := range mus {
+		jobs = append(jobs, Job{Arrive: sim.Time(i) * gI, Service: m, Probe: true, Index: i})
+	}
+	deps, _ := Simulate(jobs)
+	r := IntrusionResidual(mus, nil, gI)
+	for i, d := range deps {
+		if d.Wait() != r[i] {
+			t.Errorf("packet %d: wait %v != residual %v", i, d.Wait(), r[i])
+		}
+	}
+}
+
+func TestResidualBounds(t *testing.T) {
+	mu := []sim.Time{ms(3), ms(2), ms(4), ms(1)} // last unused (bounds over n-1)
+	lo, hi := ResidualBounds(mu, ms(2))
+	if hi != ms(9) {
+		t.Errorf("hi = %v, want 9ms", hi)
+	}
+	if lo != ms(3) { // (3-2)+(2-2)+(4-2) = 3
+		t.Errorf("lo = %v, want 3ms", lo)
+	}
+	// Large gI clamps the lower bound at zero.
+	lo, _ = ResidualBounds(mu, ms(100))
+	if lo != 0 {
+		t.Errorf("lo = %v, want 0", lo)
+	}
+}
+
+func TestResidualBoundsContainRecursion(t *testing.T) {
+	r := sim.NewRand(8)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(20)
+		mu := make([]sim.Time, n)
+		for i := range mu {
+			mu[i] = sim.Time(r.Intn(5000)) * sim.Microsecond
+		}
+		gI := sim.Time(1+r.Intn(5000)) * sim.Microsecond
+		lo, hi := ResidualBounds(mu, gI)
+		rec := IntrusionResidual(mu, nil, gI)
+		rn := rec[n-1]
+		if rn < lo || rn > hi {
+			t.Fatalf("trial %d: R_n = %v outside [%v, %v]", trial, rn, lo, hi)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	jobs := []Job{{Arrive: 0, Service: ms(5)}}
+	if got := Utilization(jobs, 0, ms(10), nil); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.5", got)
+	}
+	if got := Utilization(jobs, ms(5), ms(10), nil); got != 0 {
+		t.Errorf("idle window utilization = %g", got)
+	}
+	if got := Utilization(jobs, 0, 0, nil); got != 0 {
+		t.Errorf("empty window utilization = %g", got)
+	}
+}
+
+func TestUtilizationBusyPeriodSpansWindow(t *testing.T) {
+	jobs := []Job{{Arrive: 0, Service: ms(20)}}
+	if got := Utilization(jobs, ms(5), ms(10), nil); math.Abs(got-1) > 1e-9 {
+		t.Errorf("utilization = %g, want 1", got)
+	}
+}
+
+// Property: departures are non-decreasing and each job departs no
+// earlier than arrival + service.
+func TestSimulateProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var jobs []Job
+		var at sim.Time
+		for _, v := range raw {
+			at += sim.Time(v % 1000)
+			jobs = append(jobs, Job{Arrive: at, Service: sim.Time(v % 700)})
+		}
+		deps, err := Simulate(jobs)
+		if err != nil {
+			return false
+		}
+		for i, d := range deps {
+			if d.Depart < d.Arrive+d.Service {
+				return false
+			}
+			if i > 0 && d.Depart < deps[i-1].Depart {
+				return false
+			}
+			if d.Start < d.Arrive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: work conservation — total busy time equals the sum of
+// service times when measured over a window containing everything.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var jobs []Job
+		var at sim.Time
+		var total sim.Time
+		for _, v := range raw {
+			at += sim.Time(v%900 + 1)
+			s := sim.Time(v % 500)
+			jobs = append(jobs, Job{Arrive: at, Service: s})
+			total += s
+		}
+		if len(jobs) == 0 {
+			return true
+		}
+		deps, err := Simulate(jobs)
+		if err != nil {
+			return false
+		}
+		end := deps[len(deps)-1].Depart + 1
+		u := Utilization(jobs, 0, end, nil)
+		return math.Abs(u*float64(end)-float64(total)) < 1e-6*float64(end)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

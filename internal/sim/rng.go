@@ -1,0 +1,126 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, seedable pseudo-random generator
+// (xorshift128+ with a splitmix64-initialised state). It exists so that
+// simulation results depend only on the seed — never on math/rand global
+// state — and so that independent replications can be derived from a base
+// seed with Split without accidental stream overlap.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output.
+// It is the standard way to expand a single seed into generator state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRand returns a generator seeded from seed. Two generators built from
+// the same seed produce identical streams.
+func NewRand(seed int64) *Rand {
+	x := uint64(seed)
+	r := &Rand{}
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1 // xorshift state must be nonzero
+	}
+	return r
+}
+
+// Split derives an independent generator for a labelled sub-stream
+// (for example one per station, or one per replication). The derivation
+// mixes the label through splitmix64 so adjacent labels yield unrelated
+// streams.
+func (r *Rand) Split(label uint64) *Rand {
+	x := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
+	n := &Rand{}
+	n.s0 = splitmix64(&x)
+	n.s1 = splitmix64(&x)
+	if n.s0 == 0 && n.s1 == 0 {
+		n.s1 = 1
+	}
+	return n
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and division-free
+	// in the common case.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A zero or negative mean panics, because it would silently degenerate a
+// Poisson arrival process.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("sim: Exp with non-positive mean")
+	}
+	// 1-u is in (0, 1], so the logarithm is finite.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// ExpTime returns an exponentially distributed duration with the given
+// mean duration.
+func (r *Rand) ExpTime(mean Time) Time {
+	return Time(math.Round(r.Exp(float64(mean))))
+}
+
+// Perm fills a permutation of [0, n) using Fisher–Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Time
+		want Time
+	}{
+		{"microsecond", Microsecond, 1000},
+		{"millisecond", Millisecond, 1000 * 1000},
+		{"second", Second, 1e9},
+		{"from seconds", FromSeconds(1.5), 1500 * Millisecond},
+		{"from micros", FromMicros(20), 20 * Microsecond},
+		{"from micros fractional", FromMicros(0.5), 500},
+		{"from seconds rounds", FromSeconds(1e-9 * 0.6), 1},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("%s: got %d want %d", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := (30 * Microsecond).Micros(); got != 30 {
+		t.Errorf("Micros() = %v, want 30", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (20 * Microsecond).String(); got != "20.000us" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.ScheduleAfter(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.RunAll()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling broken: %v", hits)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for _, at := range []Time{5, 10, 15, 20} {
+		e.Schedule(at, func() { count++ })
+	}
+	if n := e.Run(12); n != 2 {
+		t.Fatalf("Run(12) executed %d events, want 2", n)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	// Clock advances to the horizon even when no event sits exactly there.
+	if e.Now() != 12 {
+		t.Fatalf("Now() = %v, want 12", e.Now())
+	}
+	// Boundary events (at exactly until) execute.
+	if n := e.Run(15); n != 1 {
+		t.Fatalf("Run(15) executed %d events, want 1", n)
+	}
+	e.RunAll()
+	if count != 4 || e.Now() != 20 {
+		t.Fatalf("final state count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("first Cancel returned false")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestEngineCancelRanEvent(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.RunAll()
+	if e.Cancel(ev) {
+		t.Fatal("cancelling an executed event should report false")
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Step()
+	e.Schedule(5, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	NewEngine().ScheduleAfter(-1, func() {})
+}
+
+func TestEngineProcessedAndPending(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 1 || e.Processed() != 1 {
+		t.Fatalf("after one step: pending=%d processed=%d", e.Pending(), e.Processed())
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEngineManyEventsOrdered(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(7)
+	var last Time = -1
+	ok := true
+	for i := 0; i < 5000; i++ {
+		at := Time(r.Intn(100000))
+		e.Schedule(at, func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		})
+	}
+	e.RunAll()
+	if !ok {
+		t.Fatal("events observed non-monotonic clock")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical outputs for different seeds", same)
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	base := NewRand(9)
+	s1 := base.Split(1)
+	s2 := base.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap: %d/100 identical", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(3)
+	for n := 1; n <= 33; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRandIntnUniform(t *testing.T) {
+	r := NewRand(11)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %g", i, c, want)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(13)
+	const mean = 250.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.02 {
+		t.Fatalf("empirical mean %g too far from %g", got, mean)
+	}
+}
+
+func TestRandExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Exp(0)")
+		}
+	}()
+	NewRand(1).Exp(0)
+}
+
+func TestRandExpTime(t *testing.T) {
+	r := NewRand(17)
+	v := r.ExpTime(Millisecond)
+	if v < 0 {
+		t.Fatalf("ExpTime returned negative duration %v", v)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(21)
+	p := r.Perm(50)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: for any list of non-negative delays, running the engine visits
+// them in sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var visited []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { visited = append(visited, e.Now()) })
+		}
+		e.RunAll()
+		for i := 1; i < len(visited); i++ {
+			if visited[i] < visited[i-1] {
+				return false
+			}
+		}
+		return len(visited) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn is always within range for arbitrary positive n.
+func TestRandIntnProperty(t *testing.T) {
+	r := NewRand(99)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j), func() {})
+		}
+		e.RunAll()
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

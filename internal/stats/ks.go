@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov comparison.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the two
+	// distribution functions.
+	D float64
+	// Threshold is the critical value at the requested confidence; the
+	// samples are deemed to come from different distributions when
+	// D > Threshold.
+	Threshold float64
+}
+
+// Reject reports whether the null hypothesis (same distribution) is
+// rejected.
+func (r KSResult) Reject() bool { return r.D > r.Threshold }
+
+// ksCritical returns c(alpha) * sqrt((n+m)/(n*m)) for the two-sample KS
+// test. Only the standard confidence levels are supported.
+func ksCritical(n, m int, alpha float64) float64 {
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.22
+	case 0.05:
+		c = 1.36
+	case 0.01:
+		c = 1.63
+	default:
+		panic(fmt.Sprintf("stats: unsupported KS alpha %g", alpha))
+	}
+	return c * math.Sqrt(float64(n+m)/float64(n*m))
+}
+
+// KSTwoSample runs the classical two-sample KS test on raw step ECDFs at
+// significance alpha (0.10, 0.05, or 0.01).
+func KSTwoSample(a, b []float64, alpha float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KS test on empty sample")
+	}
+	ea, eb := NewECDF(a), NewECDF(b)
+	d := 0.0
+	for _, x := range ea.sorted {
+		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
+			d = v
+		}
+		// Also check just below the jump.
+		if v := math.Abs(ea.At(math.Nextafter(x, math.Inf(-1))) - eb.At(math.Nextafter(x, math.Inf(-1)))); v > d {
+			d = v
+		}
+	}
+	for _, x := range eb.sorted {
+		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
+			d = v
+		}
+	}
+	return KSResult{D: d, Threshold: ksCritical(len(a), len(b), alpha)}
+}
+
+// KSTwoSampleInterp runs the two-sample KS test with sample a converted
+// to a continuous distribution by linear interpolation of its ECDF —
+// the exact convention the paper describes in footnote 2 ("since we are
+// using the KS test to compare two empirical discrete distributions we
+// convert one of them to a continuous one using linear interpolation").
+// The supremum is evaluated at the jump points of both samples.
+func KSTwoSampleInterp(a, b []float64, alpha float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KS test on empty sample")
+	}
+	ea, eb := NewECDF(a), NewECDF(b)
+	pts := make([]float64, 0, len(a)+len(b))
+	pts = append(pts, ea.sorted...)
+	pts = append(pts, eb.sorted...)
+	sort.Float64s(pts)
+	d := 0.0
+	for _, x := range pts {
+		if v := math.Abs(ea.AtInterpolated(x) - eb.At(x)); v > d {
+			d = v
+		}
+	}
+	return KSResult{D: d, Threshold: ksCritical(len(a), len(b), alpha)}
+}

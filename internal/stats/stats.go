@@ -1,0 +1,236 @@
+// Package stats provides the statistical machinery the paper's analysis
+// relies on: empirical distributions, the two-sample Kolmogorov–Smirnov
+// test with linear interpolation of the discrete ECDF (footnote 2 of the
+// paper), histograms, summary statistics with confidence intervals, the
+// MSER-m warm-up truncation heuristic (Section 7.4), and the
+// tolerance-based transient-duration estimator behind Figure 10.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+	}
+	return s
+}
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// CI95HalfWidth returns the half-width of a normal-approximation 95%
+// confidence interval for the mean.
+func (s Summary) CI95HalfWidth() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.N))
+}
+
+// Mean is a convenience for Summarize(xs).Mean.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input or
+// out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function over a sorted
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (a copy is taken and sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns the step-function ECDF value F(x) = P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Number of samples <= x.
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// AtInterpolated returns a continuous version of the ECDF obtained by
+// linear interpolation between the jump points, the convention the paper
+// adopts when comparing two empirical discrete distributions with the KS
+// test (footnote 2).
+func (e *ECDF) AtInterpolated(x float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	if x <= e.sorted[0] {
+		if x == e.sorted[0] {
+			return 1 / float64(n)
+		}
+		return 0
+	}
+	if x >= e.sorted[n-1] {
+		return 1
+	}
+	// Find i with sorted[i] <= x < sorted[i+1].
+	i := sort.SearchFloat64s(e.sorted, x)
+	if i < n && e.sorted[i] == x {
+		return float64(i+1) / float64(n)
+	}
+	i--
+	x0, x1 := e.sorted[i], e.sorted[i+1]
+	f0, f1 := float64(i+1)/float64(n), float64(i+2)/float64(n)
+	if x1 == x0 {
+		return f1
+	}
+	return f0 + (f1-f0)*(x-x0)/(x1-x0)
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs.
+// The access delays of consecutive probing packets are positively
+// correlated (each packet's contention outcome conditions the next
+// packet's queue state), which is why the MSER correction is applied to
+// the ensemble mean series rather than to single noisy trains.
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("stats: lag %d outside series of %d", k, n))
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+k < n; i++ {
+		num += (xs[i] - mean) * (xs[i+k] - mean)
+	}
+	return num / den
+}
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples above Hi
+}
+
+// NewHistogram bins xs into bins equal-width buckets over [lo, hi).
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: %d bins", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%g, %g)", lo, hi))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			i := int((x - lo) / w)
+			if i == bins { // guard against FP edge
+				i = bins - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mode returns the index of the most populated bin (ties: lowest index).
+func (h *Histogram) Mode() int {
+	best, bestC := 0, -1
+	for i, c := range h.Counts {
+		if c > bestC {
+			best, bestC = i, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,218 @@
+// Package trace records and replays channel-event traces of the DCF
+// simulator in a compact binary format. It plays the data-collection
+// role the EXTREME platform plays in the paper's testbed ("automatic
+// execution, data collection and data processing of several repetitions
+// of an experiment"): runs can be captured once, archived, and analysed
+// offline or replayed into the statistics pipeline without re-running
+// the simulation.
+//
+// Format: an 8-byte header ("CBWTRACE" magic), then one 32-byte
+// little-endian record per event:
+//
+//	offset  size  field
+//	0       8     At (ns, int64)
+//	8       1     Kind
+//	9       1     Probe (0/1)
+//	10      2     reserved
+//	12      4     Station (int32)
+//	16      4     Size (int32)
+//	20      4     Index (int32)
+//	24      4     Retries (int32)
+//	28      4     reserved
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"csmabw/internal/mac"
+	"csmabw/internal/sim"
+)
+
+var magic = [8]byte{'C', 'B', 'W', 'T', 'R', 'A', 'C', 'E'}
+
+const recordLen = 32
+
+// Writer streams events to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	wrote  bool
+	events int
+}
+
+// NewWriter wraps w. The header is emitted lazily on the first event
+// (or on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) header() error {
+	if tw.wrote {
+		return nil
+	}
+	tw.wrote = true
+	_, err := tw.w.Write(magic[:])
+	return err
+}
+
+// Write appends one event.
+func (tw *Writer) Write(ev mac.Event) error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	var rec [recordLen]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(ev.At))
+	rec[8] = byte(ev.Kind)
+	if ev.Probe {
+		rec[9] = 1
+	}
+	binary.LittleEndian.PutUint32(rec[12:], uint32(int32(ev.Station)))
+	binary.LittleEndian.PutUint32(rec[16:], uint32(int32(ev.Size)))
+	binary.LittleEndian.PutUint32(rec[20:], uint32(int32(ev.Index)))
+	binary.LittleEndian.PutUint32(rec[24:], uint32(int32(ev.Retries)))
+	if _, err := tw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	tw.events++
+	return nil
+}
+
+// Hook returns a function suitable for mac.Config.OnEvent. Write errors
+// are latched and surfaced by Flush.
+func (tw *Writer) Hook() (func(mac.Event), *error) {
+	var firstErr error
+	return func(ev mac.Event) {
+		if firstErr != nil {
+			return
+		}
+		if err := tw.Write(ev); err != nil {
+			firstErr = err
+		}
+	}, &firstErr
+}
+
+// Events reports how many events were written.
+func (tw *Writer) Events() int { return tw.events }
+
+// Flush writes the header (if nothing was emitted yet) and flushes
+// buffered records.
+func (tw *Writer) Flush() error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ErrBadMagic indicates the stream is not a csmabw trace.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Next returns the next event, or io.EOF at the end of the stream.
+func (tr *Reader) Next() (mac.Event, error) {
+	if !tr.header {
+		var h [8]byte
+		if _, err := io.ReadFull(tr.r, h[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return mac.Event{}, ErrBadMagic
+			}
+			return mac.Event{}, err
+		}
+		if h != magic {
+			return mac.Event{}, ErrBadMagic
+		}
+		tr.header = true
+	}
+	var rec [recordLen]byte
+	if _, err := io.ReadFull(tr.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return mac.Event{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return mac.Event{}, err
+	}
+	ev := mac.Event{
+		At:      sim.Time(binary.LittleEndian.Uint64(rec[0:])),
+		Kind:    mac.EventKind(rec[8]),
+		Probe:   rec[9] == 1,
+		Station: int(int32(binary.LittleEndian.Uint32(rec[12:]))),
+		Size:    int(int32(binary.LittleEndian.Uint32(rec[16:]))),
+		Index:   int(int32(binary.LittleEndian.Uint32(rec[20:]))),
+		Retries: int(int32(binary.LittleEndian.Uint32(rec[24:]))),
+	}
+	if ev.Kind < mac.EvTxStart || ev.Kind > mac.EvDrop {
+		return mac.Event{}, fmt.Errorf("trace: invalid event kind %d", ev.Kind)
+	}
+	return ev, nil
+}
+
+// ReadAll decodes the remainder of the stream.
+func (tr *Reader) ReadAll() ([]mac.Event, error) {
+	var out []mac.Event
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// Summary aggregates a trace into per-station counters and channel
+// airtime accounting — the offline analysis pass.
+type Summary struct {
+	Events     int
+	Successes  int
+	Collisions int // collision events (one per involved station)
+	Drops      int
+	// ProbeDepartures are the departure times of probe packets in
+	// index order of appearance (for dispersion analysis from a trace).
+	ProbeDepartures []sim.Time
+	// PerStation maps station id -> delivered frame count.
+	PerStation map[int]int
+	// PayloadBits delivered in total.
+	PayloadBits int64
+}
+
+// Summarize scans a trace stream.
+func Summarize(r io.Reader) (*Summary, error) {
+	tr := NewReader(r)
+	s := &Summary{PerStation: map[int]int{}}
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Events++
+		switch ev.Kind {
+		case mac.EvSuccess:
+			s.Successes++
+			s.PerStation[ev.Station]++
+			s.PayloadBits += int64(ev.Size) * 8
+			if ev.Probe {
+				s.ProbeDepartures = append(s.ProbeDepartures, ev.At)
+			}
+		case mac.EvCollision:
+			s.Collisions++
+		case mac.EvDrop:
+			s.Drops++
+		}
+	}
+}

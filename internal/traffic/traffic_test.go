@@ -1,0 +1,282 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"csmabw/internal/phy"
+	"csmabw/internal/sim"
+)
+
+func TestPoissonRate(t *testing.T) {
+	r := sim.NewRand(1)
+	const rate, size = 4e6, 1500
+	sched := Poisson(r, rate, size, 0, 10*sim.Second)
+	if err := Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(Bits(sched)) / 10
+	if math.Abs(got-rate) > 0.05*rate {
+		t.Errorf("offered rate %.2f Mb/s, want ~%.2f", got/1e6, rate/1e6)
+	}
+}
+
+func TestPoissonExponentialGaps(t *testing.T) {
+	r := sim.NewRand(2)
+	sched := Poisson(r, 2e6, 1000, 0, 20*sim.Second)
+	if len(sched) < 1000 {
+		t.Fatalf("only %d arrivals", len(sched))
+	}
+	// Coefficient of variation of exponential gaps is 1.
+	var gaps []float64
+	for i := 1; i < len(sched); i++ {
+		gaps = append(gaps, (sched[i].At - sched[i-1].At).Seconds())
+	}
+	mean, varr := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		varr += (g - mean) * (g - mean)
+	}
+	varr /= float64(len(gaps))
+	cv := math.Sqrt(varr) / mean
+	if math.Abs(cv-1) > 0.1 {
+		t.Errorf("gap CV = %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+func TestPoissonWindow(t *testing.T) {
+	r := sim.NewRand(3)
+	start, end := 2*sim.Second, 3*sim.Second
+	for _, a := range Poisson(r, 5e6, 1500, start, end) {
+		if a.At <= start || a.At >= end {
+			t.Fatalf("arrival %v outside (%v, %v)", a.At, start, end)
+		}
+		if a.Probe || a.Index != -1 {
+			t.Fatal("cross-traffic arrival marked as probe")
+		}
+	}
+}
+
+func TestCBRSpacing(t *testing.T) {
+	sched := CBR(1.2e6, 1500, 0, sim.Second)
+	want := sim.FromSeconds(1500 * 8 / 1.2e6)
+	for i := 1; i < len(sched); i++ {
+		if g := sched[i].At - sched[i-1].At; g != want {
+			t.Fatalf("gap %d = %v, want %v", i, g, want)
+		}
+	}
+	if got := len(sched); got != 100 {
+		t.Errorf("CBR packet count = %d, want 100", got)
+	}
+}
+
+func TestTrain(t *testing.T) {
+	tr := Train(50, 100*sim.Microsecond, 1500, sim.Second)
+	if len(tr) != 50 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	for i, a := range tr {
+		if !a.Probe || a.Index != i || a.Size != 1500 {
+			t.Fatalf("packet %d malformed: %+v", i, a)
+		}
+		if a.At != sim.Second+sim.Time(i)*100*sim.Microsecond {
+			t.Fatalf("packet %d at %v", i, a.At)
+		}
+	}
+}
+
+func TestTrainAtRate(t *testing.T) {
+	// 1500B at 6 Mb/s -> gI = 2ms.
+	tr := TrainAtRate(10, 6e6, 1500, 0)
+	if g := tr[1].At - tr[0].At; g != 2*sim.Millisecond {
+		t.Errorf("gI = %v, want 2ms", g)
+	}
+}
+
+func TestPacketPair(t *testing.T) {
+	pp := PacketPair(1500, sim.Second)
+	if len(pp) != 2 {
+		t.Fatalf("pair length %d", len(pp))
+	}
+	if pp[0].At != pp[1].At {
+		t.Errorf("pair not back to back: %v vs %v", pp[0].At, pp[1].At)
+	}
+	if pp[0].Index != 0 || pp[1].Index != 1 {
+		t.Error("pair indices wrong")
+	}
+}
+
+func TestMergeOrderedAndStable(t *testing.T) {
+	a := Train(3, sim.Millisecond, 100, 0)
+	b := Poisson(sim.NewRand(4), 1e6, 500, 0, 5*sim.Millisecond)
+	m := Merge(a, b)
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(a)+len(b) {
+		t.Fatalf("merged %d, want %d", len(m), len(a)+len(b))
+	}
+	// Stability: a probe and a cross packet at the same instant keep
+	// schedule order (probe first here).
+	p := Train(1, 0, 100, 42)
+	c := []Arrival{{At: 42, Size: 200, Index: -1}}
+	m2 := Merge(p, c)
+	if !m2[0].Probe || m2[1].Probe {
+		t.Error("Merge not stable for simultaneous arrivals")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []struct {
+		name  string
+		sched []Arrival
+	}{
+		{"unordered", []Arrival{{At: 5, Size: 1}, {At: 3, Size: 1}}},
+		{"zero size", []Arrival{{At: 0, Size: 0}}},
+		{"negative time", []Arrival{{At: -1, Size: 10}}},
+	}
+	for _, tt := range bad {
+		if Validate(tt.sched) == nil {
+			t.Errorf("%s: Validate accepted bad schedule", tt.name)
+		}
+	}
+	if Validate(nil) != nil {
+		t.Error("empty schedule should validate")
+	}
+}
+
+func TestOfferedLoadRoundTrip(t *testing.T) {
+	p := phy.B11()
+	for _, erl := range []float64{0.1, 0.5, 1.0} {
+		rate := RateForLoad(p, erl, 1500)
+		got := OfferedLoad(p, rate, 1500)
+		if math.Abs(got-erl) > 1e-9 {
+			t.Errorf("round trip %.2f Erlang -> %.2f", erl, got)
+		}
+	}
+}
+
+func TestOfferedLoadZero(t *testing.T) {
+	if OfferedLoad(phy.B11(), 0, 1500) != 0 {
+		t.Error("zero rate should offer zero load")
+	}
+}
+
+func TestOneErlangNearCapacity(t *testing.T) {
+	p := phy.B11()
+	rate := RateForLoad(p, 1.0, 1500)
+	// 1 Erlang should be close to the single-station saturation
+	// throughput.
+	if c := p.MaxThroughput(1500); math.Abs(rate-c) > 0.01*c {
+		t.Errorf("1 Erlang = %.2f Mb/s but capacity = %.2f Mb/s", rate/1e6, c/1e6)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"poisson zero rate": func() { Poisson(sim.NewRand(1), 0, 100, 0, 1) },
+		"cbr zero size":     func() { CBR(1e6, 0, 0, 1) },
+		"empty train":       func() { Train(0, 0, 100, 0) },
+		"negative gap":      func() { Train(2, -1, 100, 0) },
+		"negative load":     func() { RateForLoad(phy.B11(), -1, 100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: merged schedules always validate, whatever the inputs' order.
+func TestMergeProperty(t *testing.T) {
+	r := sim.NewRand(77)
+	f := func(seedA, seedB uint16) bool {
+		a := Poisson(r.Split(uint64(seedA)), 1e6+float64(seedA), 500, 0, 100*sim.Millisecond)
+		b := Poisson(r.Split(uint64(seedB)+1e4), 2e6, 1000, 0, 100*sim.Millisecond)
+		return Validate(Merge(a, b)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkProbe(t *testing.T) {
+	sched := CBR(1e6, 500, 0, 10*sim.Millisecond)
+	marked := MarkProbe(sched)
+	if len(marked) != len(sched) {
+		t.Fatalf("length changed: %d vs %d", len(marked), len(sched))
+	}
+	for i, a := range marked {
+		if !a.Probe || a.Index != i {
+			t.Fatalf("packet %d not marked: %+v", i, a)
+		}
+	}
+	// Original untouched.
+	if sched[0].Probe {
+		t.Error("MarkProbe mutated its input")
+	}
+}
+
+func TestOnOffMeanRate(t *testing.T) {
+	r := sim.NewRand(31)
+	on, off := 20*sim.Millisecond, 20*sim.Millisecond
+	sched := OnOff(r, 8e6, 1500, on, off, 0, 30*sim.Second)
+	if err := Validate(sched); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(Bits(sched)) / 30
+	want := 8e6 * 0.5 // 50% duty cycle
+	if math.Abs(got-want) > 0.15*want {
+		t.Errorf("on/off mean rate %.2f Mb/s, want ~%.2f", got/1e6, want/1e6)
+	}
+}
+
+func TestOnOffBurstierThanPoisson(t *testing.T) {
+	// Same average rate; the on/off gaps' coefficient of variation must
+	// exceed the Poisson process's (which is 1).
+	cv := func(sched []Arrival) float64 {
+		var gaps []float64
+		for i := 1; i < len(sched); i++ {
+			gaps = append(gaps, (sched[i].At - sched[i-1].At).Seconds())
+		}
+		mean, varr := 0.0, 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			varr += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(varr/float64(len(gaps))) / mean
+	}
+	r := sim.NewRand(32)
+	bursty := OnOff(r, 8e6, 1500, 10*sim.Millisecond, 30*sim.Millisecond, 0, 20*sim.Second)
+	poisson := Poisson(r, 2e6, 1500, 0, 20*sim.Second)
+	if cv(bursty) <= cv(poisson)*1.2 {
+		t.Errorf("on/off CV %.2f not clearly above Poisson CV %.2f", cv(bursty), cv(poisson))
+	}
+}
+
+func TestOnOffPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero on-mean")
+		}
+	}()
+	OnOff(sim.NewRand(1), 1e6, 100, 0, 1, 0, 1)
+}
+
+func TestBits(t *testing.T) {
+	sched := []Arrival{{At: 0, Size: 100}, {At: 1, Size: 400}}
+	if got := Bits(sched); got != 4000 {
+		t.Errorf("Bits = %d, want 4000", got)
+	}
+}
