@@ -10,26 +10,113 @@ package csmabw
 //
 //	go test -bench=. -benchmem
 //
+// Figure benchmarks run on the shared replication engine (all cores;
+// see BenchmarkRunnerScaling for the worker sweep) and record their
+// wall time into BENCH_runner.json so later changes can track the perf
+// trajectory; the file is only written when figure benchmarks ran.
+//
 // Absolute values differ from the paper's testbed, but each metric's
 // *shape* relationship (who wins, where curves bend) must match; the
 // assertions encoding those relationships live in integration_test.go.
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"csmabw/internal/experiments"
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
 	"csmabw/internal/probe"
+	"csmabw/internal/runner"
 	"csmabw/internal/sim"
 	"csmabw/internal/stats"
 	"csmabw/internal/traffic"
 )
 
 // benchScale keeps each iteration around a second while preserving the
-// curve shapes.
+// curve shapes. Workers 0 = the full worker pool.
 func benchScale() experiments.Scale {
 	return experiments.Scale{Reps: 60, SweepPoints: 10, SteadySeconds: 1}
+}
+
+// benchRecord is one figure benchmark's telemetry in BENCH_runner.json.
+type benchRecord struct {
+	// WallSeconds is the mean wall-clock time of one figure generation.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Replications is the scale's per-point replication count.
+	Replications int `json:"replications"`
+	// ReplicationsPerSec is Replications divided by WallSeconds — the
+	// replication engine's effective throughput on this figure.
+	ReplicationsPerSec float64 `json:"replications_per_sec"`
+	// Workers is the resolved worker-pool size the benchmark ran with.
+	Workers int `json:"workers"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchRecords = map[string]benchRecord{}
+)
+
+func recordBench(id string, total time.Duration, iters int, sc experiments.Scale) {
+	wall := total.Seconds() / float64(iters)
+	rec := benchRecord{
+		WallSeconds:  wall,
+		Replications: sc.Reps,
+		Workers:      runner.Workers(sc.Workers),
+	}
+	if wall > 0 {
+		rec.ReplicationsPerSec = float64(sc.Reps) / wall
+	}
+	benchMu.Lock()
+	benchRecords[id] = rec
+	benchMu.Unlock()
+}
+
+// writeBenchJSON dumps the recorded figure timings, keyed by figure id,
+// so later PRs can diff the perf trajectory machine-readably.
+func writeBenchJSON() {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if len(benchRecords) == 0 {
+		return
+	}
+	// MarshalIndent sorts map keys, so the file is stable across runs.
+	b, err := json.MarshalIndent(benchRecords, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_runner.json: %v\n", err)
+		return
+	}
+	if err := os.WriteFile("BENCH_runner.json", append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_runner.json: %v\n", err)
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeBenchJSON()
+	os.Exit(code)
+}
+
+// benchFigure runs a driver b.N times at bench scale, records its wall
+// time under id, and returns the last figure.
+func benchFigure(b *testing.B, id string, run experiments.Driver) *experiments.Figure {
+	b.Helper()
+	sc := benchScale()
+	var fig *experiments.Figure
+	var err error
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		fig, err = run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	recordBench(id, time.Since(start), b.N, sc)
+	return fig
 }
 
 func runFigure(b *testing.B, id string) *experiments.Figure {
@@ -38,14 +125,7 @@ func runFigure(b *testing.B, id string) *experiments.Figure {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var fig *experiments.Figure
-	for i := 0; i < b.N; i++ {
-		fig, err = run(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	return fig
+	return benchFigure(b, id, run)
 }
 
 // maxY returns the maximum Y of a series.
@@ -74,18 +154,7 @@ func BenchmarkFig4CompleteRRC(b *testing.B) {
 }
 
 func BenchmarkFig6MeanAccessDelay(b *testing.B) {
-	run, err := experiments.Lookup("fig06")
-	if err != nil {
-		b.Fatal(err)
-	}
-	var fig *experiments.Figure
-	sc := benchScale()
-	for i := 0; i < b.N; i++ {
-		fig, err = run(sc)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
+	fig := runFigure(b, "fig06")
 	s := fig.Series[0]
 	// Transient magnitude: late-mean minus first-packet mean (ms).
 	b.ReportMetric(s.Y[len(s.Y)-1]-s.Y[0], "transient_ms")
@@ -121,23 +190,13 @@ func BenchmarkFig9KSComplex(b *testing.B) {
 }
 
 func BenchmarkFig10TransientDuration(b *testing.B) {
-	run, err := experiments.Lookup("fig10")
-	if err != nil {
-		b.Fatal(err)
-	}
 	// Fig 10 is the heaviest sweep; trim it for benching.
 	p := experiments.DefaultFig10()
 	p.CrossLoads = []float64{0.2, 0.5, 0.8, 1.0}
 	p.TrainLen = 300
-	_ = run
-	var fig *experiments.Figure
-	sc := benchScale()
-	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Fig10TransientDuration(p, sc)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
+	fig := benchFigure(b, "fig10", func(sc experiments.Scale) (*experiments.Figure, error) {
+		return experiments.Fig10TransientDuration(p, sc)
+	})
 	tol01 := fig.Series[0]
 	b.ReportMetric(maxY(tol01), "max_transient_pkts_tol0.1")
 }
@@ -156,21 +215,11 @@ func BenchmarkFig15ShortTrainsFIFO(b *testing.B) {
 }
 
 func BenchmarkFig16PacketPair(b *testing.B) {
-	run, err := experiments.Lookup("fig16")
-	if err != nil {
-		b.Fatal(err)
-	}
 	p := experiments.DefaultFig16()
 	p.CrossRates = []float64{0, 2e6, 4e6, 6e6, 8e6}
-	_ = run
-	var fig *experiments.Figure
-	sc := benchScale()
-	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Fig16PacketPair(p, sc)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
+	fig := benchFigure(b, "fig16", func(sc experiments.Scale) (*experiments.Figure, error) {
+		return experiments.Fig16PacketPair(p, sc)
+	})
 	fluid, pair := fig.Series[0], fig.Series[1]
 	// Mean overestimation across the sweep.
 	sum := 0.0
@@ -199,6 +248,28 @@ func BenchmarkFig17MSER(b *testing.B) {
 	n := float64(len(steady.Y))
 	b.ReportMetric(rawErr/n, "raw_mean_abs_err_Mbps")
 	b.ReportMetric(corrErr/n, "mser_mean_abs_err_Mbps")
+}
+
+// BenchmarkRunnerScaling sweeps the replication engine's worker count
+// on a paper-style transient run (Fig. 6 scenario). On a 4+-core
+// machine the workers=4 case should complete the same work ≥3× faster
+// than workers=1; the figure output is byte-identical either way.
+func BenchmarkRunnerScaling(b *testing.B) {
+	p := experiments.DefaultFig6()
+	p.TrainLen = 300
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sc := benchScale()
+			sc.Workers = w
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig6MeanAccessDelay(p, sc, 150); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordBench(fmt.Sprintf("fig06-scaling-workers%d", w), time.Since(start), b.N, sc)
+		})
+	}
 }
 
 // --- Ablation benches (DESIGN.md §5) ---
@@ -272,9 +343,8 @@ func BenchmarkAblationPostBackoff(b *testing.B) {
 	// this common; the ablation makes it (nearly) impossible.
 	instantFrac := func(disable bool) float64 {
 		airtime := phy.B11().DIFS + phy.B11().DataTxTime(1500)
-		hits := 0
 		const reps = 150
-		for rep := 0; rep < reps; rep++ {
+		hits, err := runner.Map(reps, 0, func(rep int) (int, error) {
 			r := sim.NewRand(int64(rep))
 			cfg := mac.Config{
 				Phy:                    phy.B11(),
@@ -287,14 +357,22 @@ func BenchmarkAblationPostBackoff(b *testing.B) {
 			}
 			res, err := mac.Run(cfg)
 			if err != nil {
-				b.Fatal(err)
+				return 0, err
 			}
 			ps := res.ProbeFrames(0)
 			if len(ps) > 0 && ps[0].AccessDelay() == airtime {
-				hits++
+				return 1, nil
 			}
+			return 0, nil
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
-		return float64(hits) / reps
+		total := 0
+		for _, h := range hits {
+			total += h
+		}
+		return float64(total) / reps
 	}
 	var std, abl float64
 	for i := 0; i < b.N; i++ {

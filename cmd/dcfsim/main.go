@@ -14,7 +14,10 @@
 // Each spec is kind:rateMbps:sizeBytes with kind "poisson" or "cbr".
 //
 // Flags -phy (b11|b11short|g54), -rts (RTS/CTS threshold in bytes) and
-// -seed complete the scenario.
+// -seed complete the scenario. With -reps N the scenario is replicated
+// N times on -workers goroutines — each replication drawing its traffic
+// from an independent RNG substream — and the table reports per-station
+// means across replications.
 package main
 
 import (
@@ -24,8 +27,10 @@ import (
 	"strconv"
 	"strings"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
+	"csmabw/internal/runner"
 	"csmabw/internal/sim"
 	"csmabw/internal/stats"
 	"csmabw/internal/trace"
@@ -74,6 +79,17 @@ func phyFor(name string) (phy.Params, error) {
 	return phy.Params{}, fmt.Errorf("unknown PHY %q (b11|b11short|g54)", name)
 }
 
+// stationResult is one station's statistics from one replication.
+type stationResult struct {
+	thrMbps    float64
+	delivered  float64
+	attempts   float64
+	collisions float64
+	dropped    float64
+	meanAccMs  float64
+	p95AccMs   float64
+}
+
 func main() {
 	var specs stationSpecs
 	flag.Var(&specs, "station", "station spec kind:rateMbps:size (repeatable)")
@@ -81,83 +97,112 @@ func main() {
 	duration := flag.Float64("duration", 5, "simulated seconds")
 	seed := flag.Int64("seed", 1, "random seed")
 	rts := flag.Int("rts", 0, "RTS/CTS threshold in bytes (0 = off)")
-	tracePath := flag.String("trace", "", "write a binary channel-event trace to this file")
+	reps := flag.Int("reps", 1, "independent replications of the scenario")
+	workers := flag.Int("workers", 0, "worker goroutines for replications (0 = all cores)")
+	tracePath := flag.String("trace", "", "write a binary channel-event trace to this file (replication 0)")
 	flag.Parse()
 
 	if len(specs) == 0 {
-		fmt.Fprintln(os.Stderr, "need at least one -station spec")
-		os.Exit(2)
+		clikit.Exitf(2, "need at least one -station spec")
+	}
+	if *reps < 1 {
+		clikit.Exitf(2, "-reps must be at least 1")
 	}
 	p, err := phyFor(*phyName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		clikit.Exitf(2, "%v", err)
 	}
 	end := sim.FromSeconds(*duration)
-	r := sim.NewRand(*seed)
-	cfg := mac.Config{Phy: p, Seed: *seed, Horizon: end, RTSThreshold: *rts}
-	for i, spec := range specs {
-		arr, err := parseStation(spec, r.Split(uint64(i)+1), end)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		cfg.Stations = append(cfg.Stations, mac.StationConfig{
-			Name: fmt.Sprintf("sta%d(%s)", i, spec), Arrivals: arr,
-		})
-	}
+
 	var tw *trace.Writer
 	var traceFile *os.File
 	if *tracePath != "" {
 		traceFile, err = os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		clikit.Check(err)
 		tw = trace.NewWriter(traceFile)
-		hook, _ := tw.Hook()
-		cfg.OnEvent = hook
 	}
-	res, err := mac.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	// Each replication derives its traffic and engine seeds from an
+	// independent substream, so results are identical at any -workers.
+	root := sim.NewStream(*seed)
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		names[i] = fmt.Sprintf("sta%d(%s)", i, spec)
 	}
+	runOne := func(rep int) ([]stationResult, error) {
+		stream := root.Child(uint64(rep))
+		cfg := mac.Config{Phy: p, Seed: stream.Child(0).Seed(), Horizon: end, RTSThreshold: *rts}
+		for i, spec := range specs {
+			arr, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: names[i], Arrivals: arr})
+		}
+		if rep == 0 && tw != nil {
+			hook, _ := tw.Hook()
+			cfg.OnEvent = hook
+		}
+		res, err := mac.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]stationResult, len(specs))
+		for i := range cfg.Stations {
+			st := res.Stats[i]
+			var acc []float64
+			for _, f := range res.Frames[i] {
+				acc = append(acc, f.AccessDelay().Seconds()*1e3)
+			}
+			mean, p95 := 0.0, 0.0
+			if len(acc) > 0 {
+				mean = stats.Mean(acc)
+				p95 = stats.Quantile(acc, 0.95)
+			}
+			out[i] = stationResult{
+				thrMbps:    res.Throughput(i, 0, end) / 1e6,
+				delivered:  float64(st.Delivered),
+				attempts:   float64(st.Attempts),
+				collisions: float64(st.Collisions),
+				dropped:    float64(st.Dropped),
+				meanAccMs:  mean,
+				p95AccMs:   p95,
+			}
+		}
+		return out, nil
+	}
+
+	byRep, err := runner.Map(*reps, *workers, runOne)
+	clikit.Check(err)
 	if tw != nil {
-		if err := tw.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := traceFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		clikit.Check(tw.Flush())
+		clikit.Check(traceFile.Close())
 		fmt.Printf("wrote %d events to %s\n", tw.Events(), *tracePath)
 	}
 
-	fmt.Printf("PHY %s, %d stations, %.1fs simulated (RTS threshold %d)\n\n",
-		p.Name, len(cfg.Stations), *duration, *rts)
+	fmt.Printf("PHY %s, %d stations, %.1fs simulated, %d replication(s) (RTS threshold %d)\n\n",
+		p.Name, len(specs), *duration, *reps, *rts)
 	fmt.Printf("%-26s %10s %9s %9s %7s %7s %10s %10s\n",
 		"station", "thru(Mb/s)", "delivered", "attempts", "coll", "drops",
 		"mean acc(ms)", "p95 acc(ms)")
 	var agg float64
-	for i := range cfg.Stations {
-		st := res.Stats[i]
-		thr := res.Throughput(i, 0, end)
-		agg += thr
-		var acc []float64
-		for _, f := range res.Frames[i] {
-			acc = append(acc, f.AccessDelay().Seconds()*1e3)
+	n := float64(len(byRep))
+	for i := range specs {
+		var m stationResult
+		for _, rep := range byRep {
+			m.thrMbps += rep[i].thrMbps
+			m.delivered += rep[i].delivered
+			m.attempts += rep[i].attempts
+			m.collisions += rep[i].collisions
+			m.dropped += rep[i].dropped
+			m.meanAccMs += rep[i].meanAccMs
+			m.p95AccMs += rep[i].p95AccMs
 		}
-		mean, p95 := 0.0, 0.0
-		if len(acc) > 0 {
-			mean = stats.Mean(acc)
-			p95 = stats.Quantile(acc, 0.95)
-		}
-		fmt.Printf("%-26s %10.3f %9d %9d %7d %7d %10.3f %10.3f\n",
-			cfg.Stations[i].Name, thr/1e6, st.Delivered, st.Attempts,
-			st.Collisions, st.Dropped, mean, p95)
+		agg += m.thrMbps / n
+		fmt.Printf("%-26s %10.3f %9.1f %9.1f %7.1f %7.1f %10.3f %10.3f\n",
+			names[i], m.thrMbps/n, m.delivered/n, m.attempts/n,
+			m.collisions/n, m.dropped/n, m.meanAccMs/n, m.p95AccMs/n)
 	}
 	fmt.Printf("\naggregate: %.3f Mb/s (single-station envelope %.3f Mb/s)\n",
-		agg/1e6, p.MaxThroughput(1500)/1e6)
+		agg, p.MaxThroughput(1500)/1e6)
 }

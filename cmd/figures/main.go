@@ -1,10 +1,15 @@
 // Command figures regenerates every figure of the paper's evaluation
-// and writes one CSV per figure, printing a text table of each to
-// stdout. See DESIGN.md for the experiment index.
+// and writes one CSV per figure, printing each in the selected format
+// to stdout. See DESIGN.md for the experiment index.
 //
 // Usage:
 //
-//	figures [-scale tiny|default|paper] [-only fig01,fig08] [-out DIR]
+//	figures [-only fig01,fig08] [-out DIR]
+//	        [-scale tiny|default|paper] [-reps N] [-points N] [-seconds S]
+//	        [-workers N] [-format table|csv|json]
+//
+// Replications and sweep points run on -workers goroutines; the output
+// is byte-identical at any worker count.
 package main
 
 import (
@@ -15,48 +20,38 @@ import (
 	"strings"
 	"time"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
 )
 
-func scaleFor(name string) (experiments.Scale, error) {
-	switch name {
-	case "tiny":
-		return experiments.Tiny(), nil
-	case "default":
-		return experiments.Default(), nil
-	case "paper":
-		return experiments.Paper(), nil
-	}
-	return experiments.Scale{}, fmt.Errorf("unknown scale %q (tiny|default|paper)", name)
-}
-
 func main() {
-	scaleName := flag.String("scale", "default", "experiment scale: tiny, default or paper")
 	only := flag.String("only", "", "comma-separated figure ids to run (default: all)")
 	out := flag.String("out", "figures-out", "directory for CSV output")
+	common := clikit.Register(flag.CommandLine, clikit.Defaults{})
 	flag.Parse()
 
-	sc, err := scaleFor(*scaleName)
+	sc, err := common.Scale()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		clikit.Exitf(2, "%v", err)
 	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			if id = strings.TrimSpace(id); id != "" {
+				want[id] = true
+			}
 		}
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		clikit.Exitf(1, "%v", err)
 	}
 
 	failed := false
 	for _, entry := range experiments.Registry() {
-		if len(want) > 0 && !want[entry.ID] {
+		if *only != "" && !want[entry.ID] {
 			continue
 		}
+		delete(want, entry.ID)
 		start := time.Now()
 		fig, err := entry.Run(sc)
 		if err != nil {
@@ -70,7 +65,16 @@ func main() {
 			failed = true
 			continue
 		}
-		fmt.Printf("%s  (%.1fs, wrote %s)\n\n", fig.Table(), time.Since(start).Seconds(), path)
+		if err := common.Emit(os.Stdout, fig); err != nil {
+			clikit.Exitf(2, "%v", err)
+		}
+		fmt.Printf("  (%.1fs, wrote %s)\n\n", time.Since(start).Seconds(), path)
+	}
+	if len(want) > 0 {
+		for id := range want {
+			fmt.Fprintf(os.Stderr, "unknown figure id %q\n", id)
+		}
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -5,40 +5,39 @@
 //
 // Usage:
 //
-//	mser [-train N] [-batch M] [-reps N] [-cross MBPS]
+//	mser [-train N] [-batch M] [-cross MBPS]
+//	     [-scale tiny|default|paper] [-reps N] [-points N] [-seconds S]
+//	     [-seed N] [-workers N] [-format table|csv|json]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
 )
 
 func main() {
 	train := flag.Int("train", 20, "train length (paper: 20)")
 	batch := flag.Int("batch", 2, "MSER batch size m (paper: 2)")
-	reps := flag.Int("reps", 200, "replications per point")
 	cross := flag.Float64("cross", 4, "contending cross-traffic (Mb/s)")
-	points := flag.Int("points", 10, "sweep points")
-	seconds := flag.Float64("seconds", 2, "steady-state duration per point")
-	seed := flag.Int64("seed", 17, "random seed")
+	common := clikit.Register(flag.CommandLine, clikit.Defaults{Seed: 17, Reps: 200, Points: 10, Seconds: 2})
 	flag.Parse()
 
+	sc, err := common.Scale()
+	if err != nil {
+		clikit.Exitf(2, "%v", err)
+	}
 	p := experiments.Fig17Params{
 		TrainLen:      *train,
 		MSERBatch:     *batch,
 		ContendingBps: *cross * 1e6,
 		PacketSize:    1500,
 		MaxProbeBps:   10e6,
-		Seed:          *seed,
+		Seed:          common.Seed,
 	}
-	sc := experiments.Scale{Reps: *reps, SweepPoints: *points, SteadySeconds: *seconds}
 	fig, err := experiments.Fig17MSER(p, sc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Print(fig.Table())
+	clikit.Check(err)
+	clikit.Check(common.Emit(os.Stdout, fig))
 }

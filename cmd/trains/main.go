@@ -5,16 +5,16 @@
 //
 // Usage:
 //
-//	trains [-lens 3,10,50] [-cross MBPS] [-fifo MBPS] [-reps N]
+//	trains [-lens 3,10,50] [-cross MBPS] [-fifo MBPS]
+//	       [-scale tiny|default|paper] [-reps N] [-points N] [-seconds S]
+//	       [-seed N] [-workers N] [-format table|csv|json]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
 )
 
@@ -22,20 +22,21 @@ func main() {
 	lens := flag.String("lens", "3,10,50", "train lengths")
 	cross := flag.Float64("cross", 4, "contending cross-traffic (Mb/s)")
 	fifo := flag.Float64("fifo", 0, "FIFO cross-traffic (Mb/s); 0 = Figure 13, >0 = Figure 15")
-	reps := flag.Int("reps", 200, "replications per point")
-	points := flag.Int("points", 20, "sweep points")
-	seconds := flag.Float64("seconds", 2, "steady-state duration per point")
-	seed := flag.Int64("seed", 13, "random seed")
+	common := clikit.Register(flag.CommandLine, clikit.Defaults{Seed: 13, Reps: 200, Points: 20, Seconds: 2})
 	flag.Parse()
 
-	var trainLens []int
-	for _, part := range strings.Split(*lens, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 2 {
-			fmt.Fprintf(os.Stderr, "bad -lens entry %q\n", part)
-			os.Exit(2)
+	trainLens, err := clikit.ParseInts(*lens)
+	if err != nil {
+		clikit.Exitf(2, "bad -lens: %v", err)
+	}
+	for _, n := range trainLens {
+		if n < 2 {
+			clikit.Exitf(2, "bad -lens entry %d: trains need at least 2 packets", n)
 		}
-		trainLens = append(trainLens, n)
+	}
+	sc, err := common.Scale()
+	if err != nil {
+		clikit.Exitf(2, "%v", err)
 	}
 	p := experiments.TrainRRCParams{
 		TrainLens:     trainLens,
@@ -43,17 +44,13 @@ func main() {
 		FIFOCrossBps:  *fifo * 1e6,
 		PacketSize:    1500,
 		MaxProbeBps:   10e6,
-		Seed:          *seed,
+		Seed:          common.Seed,
 	}
 	id := "fig13"
 	if *fifo > 0 {
 		id = "fig15"
 	}
-	sc := experiments.Scale{Reps: *reps, SweepPoints: *points, SteadySeconds: *seconds}
 	fig, err := experiments.TrainRRC(id, p, sc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Print(fig.Table())
+	clikit.Check(err)
+	clikit.Check(common.Emit(os.Stdout, fig))
 }

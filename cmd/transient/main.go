@@ -5,57 +5,56 @@
 //
 // Usage:
 //
-//	transient [-fig 6|7|8|9] [-reps N] [-train N] [-seed N]
+//	transient [-fig 6|7|8|9] [-train N]
+//	          [-scale tiny|default|paper] [-reps N]
+//	          [-seed N] [-workers N] [-format table|csv|json]
+//
+// -seed 0 keeps the figure's paper seed.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
 )
 
 func main() {
 	figNum := flag.Int("fig", 6, "figure to reproduce: 6, 7, 8 or 9")
-	reps := flag.Int("reps", 400, "replications")
 	train := flag.Int("train", 0, "override train length (0 = paper default)")
-	seed := flag.Int64("seed", 0, "override seed (0 = paper default)")
+	common := clikit.Register(flag.CommandLine, clikit.Defaults{Reps: 400})
 	flag.Parse()
 
-	sc := experiments.Scale{Reps: *reps, SweepPoints: 2, SteadySeconds: 1}
-	var (
-		fig *experiments.Figure
-		err error
-	)
+	sc, err := common.Scale()
+	if err != nil {
+		clikit.Exitf(2, "%v", err)
+	}
+	var fig *experiments.Figure
 	switch *figNum {
 	case 6:
 		p := experiments.DefaultFig6()
-		override(&p, *train, *seed)
+		override(&p, *train, common.Seed)
 		fig, err = experiments.Fig6MeanAccessDelay(p, sc, 150)
 	case 7:
 		p := experiments.DefaultFig6()
-		override(&p, *train, *seed)
+		override(&p, *train, common.Seed)
 		fig, err = experiments.Fig7Histograms(p, sc, p.TrainLen/2, 30)
 	case 8:
 		p := experiments.DefaultFig8()
-		override(&p, *train, *seed)
+		override(&p, *train, common.Seed)
 		fig, err = experiments.FigKS("fig08", p, sc, experiments.DefaultKSOptions(p.TrainLen))
 	case 9:
 		p := experiments.DefaultFig9()
-		override(&p, *train, *seed)
+		override(&p, *train, common.Seed)
 		opt := experiments.DefaultKSOptions(p.TrainLen)
 		opt.Packets = 50
 		fig, err = experiments.FigKS("fig09", p, sc, opt)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %d (want 6-9)\n", *figNum)
-		os.Exit(2)
+		clikit.Exitf(2, "unknown figure %d (want 6-9)", *figNum)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Print(fig.Table())
+	clikit.Check(err)
+	clikit.Check(common.Emit(os.Stdout, fig))
 }
 
 func override(p *experiments.TransientParams, train int, seed int64) {

@@ -6,48 +6,37 @@
 //
 // Usage:
 //
-//	transitory [-reps N] [-train N] [-loads 0.1,0.5,1.0] [-tols 0.1,0.01]
+//	transitory [-train N] [-loads 0.1,0.5,1.0] [-tols 0.1,0.01]
+//	           [-scale tiny|default|paper] [-reps N]
+//	           [-seed N] [-workers N] [-format table|csv|json]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
 )
 
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
 func main() {
-	reps := flag.Int("reps", 300, "replications per load point")
 	train := flag.Int("train", 500, "train length (packets)")
 	loads := flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered cross loads (Erlangs)")
 	tols := flag.String("tols", "0.1,0.01", "tolerances")
-	seed := flag.Int64("seed", 10, "random seed")
+	common := clikit.Register(flag.CommandLine, clikit.Defaults{Seed: 10, Reps: 300})
 	flag.Parse()
 
-	loadVals, err := parseFloats(*loads)
+	loadVals, err := clikit.ParseFloats(*loads)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bad -loads: %v\n", err)
-		os.Exit(2)
+		clikit.Exitf(2, "bad -loads: %v", err)
 	}
-	tolVals, err := parseFloats(*tols)
+	tolVals, err := clikit.ParseFloats(*tols)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bad -tols: %v\n", err)
-		os.Exit(2)
+		clikit.Exitf(2, "bad -tols: %v", err)
+	}
+	sc, err := common.Scale()
+	if err != nil {
+		clikit.Exitf(2, "%v", err)
 	}
 	p := experiments.Fig10Params{
 		ProbeLoadErlang: 1.0,
@@ -55,13 +44,9 @@ func main() {
 		PacketSize:      1500,
 		TrainLen:        *train,
 		Tolerances:      tolVals,
-		Seed:            *seed,
+		Seed:            common.Seed,
 	}
-	sc := experiments.Scale{Reps: *reps, SweepPoints: 2, SteadySeconds: 1}
 	fig, err := experiments.Fig10TransientDuration(p, sc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Print(fig.Table())
+	clikit.Check(err)
+	clikit.Check(common.Emit(os.Stdout, fig))
 }

@@ -19,8 +19,29 @@
 // This package is the stable facade: it re-exports the measurement
 // entry points and adds the high-level achievable-throughput workflow
 // the paper motivates. The experiment drivers that regenerate every
-// figure of the paper live in internal/experiments and are surfaced by
-// the cmd/ tools and the root benchmark suite.
+// figure of the paper live in internal/experiments; each one is a
+// declarative Scenario executed by the shared worker-pool replication
+// engine (internal/runner), which fans independent replications out
+// across GOMAXPROCS workers with per-replication RNG substreams
+// (sim.Stream) — so every figure is byte-identical at any worker count
+// and the full suite scales near-linearly with cores.
+//
+// The cmd/ tools surface the drivers behind a common CLI harness
+// (internal/clikit) with shared knobs:
+//
+//   - cmd/figures regenerates the whole evaluation (or -only a subset);
+//   - cmd/trains, cmd/transient, cmd/transitory and cmd/mser run the
+//     short-train, access-delay-transient, transient-duration and
+//     MSER-correction studies individually;
+//   - cmd/dcfsim is the general-purpose DCF scenario front end, with
+//     -reps for replicated runs;
+//   - cmd/packetpair, cmd/rrc and cmd/bwprobe cover packet-pair
+//     inference, rate-response fitting and live-network probing.
+//
+// Every experiment tool accepts -scale tiny|default|paper (with -reps,
+// -points and -seconds fine-tuning), -seed, -workers (0 = all cores)
+// and -format table|csv|json; the root benchmark suite writes its
+// per-figure timings to BENCH_runner.json.
 package csmabw
 
 import (

@@ -1,0 +1,3 @@
+module csmabw
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package clikit is the shared command-line harness for the cmd/
+// tools. Every experiment front end takes the same knobs — a scale
+// preset with fine-grained overrides, a seed, a worker count for the
+// replication engine, and an output format — and before this package
+// existed each tool re-implemented them. A tool registers the common
+// flags next to its own, resolves them into an experiments.Scale, and
+// emits figures through Emit.
+package clikit
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"csmabw/internal/experiments"
+)
+
+// Defaults are the per-tool defaults for the common flags.
+type Defaults struct {
+	// Scale is the default preset name; empty means "default".
+	Scale string
+	// Seed is the tool's default seed (figure drivers have paper seeds).
+	Seed int64
+	// Points overrides the preset's sweep-point default when positive.
+	Points int
+	// Reps overrides the preset's replication default when positive.
+	Reps int
+	// Seconds overrides the preset's steady-state duration when positive.
+	Seconds float64
+}
+
+// Flags holds the parsed common flags.
+type Flags struct {
+	ScaleName string
+	Reps      int
+	Points    int
+	Seconds   float64
+	Workers   int
+	Seed      int64
+	Format    string
+
+	fs       *flag.FlagSet
+	defScale string
+}
+
+// Register installs the common flags on fs with the given defaults and
+// returns the destination struct, populated after fs.Parse.
+func Register(fs *flag.FlagSet, def Defaults) *Flags {
+	if def.Scale == "" {
+		def.Scale = "default"
+	}
+	f := &Flags{fs: fs, defScale: def.Scale}
+	fs.StringVar(&f.ScaleName, "scale", def.Scale, "experiment scale preset: tiny, default or paper")
+	fs.IntVar(&f.Reps, "reps", def.Reps, "replications per point (0 = preset value)")
+	fs.IntVar(&f.Points, "points", def.Points, "sweep points (0 = preset value)")
+	fs.Float64Var(&f.Seconds, "seconds", def.Seconds, "steady-state duration per point (0 = preset value)")
+	fs.IntVar(&f.Workers, "workers", 0, "worker goroutines for replications (0 = all cores); results are identical at any count")
+	fs.Int64Var(&f.Seed, "seed", def.Seed, "random seed")
+	fs.StringVar(&f.Format, "format", "table", "output format: table, csv or json")
+	return f
+}
+
+// Scale resolves the preset plus overrides into a Scale, including the
+// worker-pool bound. Tool defaults (Defaults.Reps etc.) shape the
+// tool's own default preset only — naming any other preset (`-scale
+// paper`) yields that preset unmodified, and naming the default preset
+// explicitly behaves exactly like omitting the flag. Flags the user
+// passed on the command line always win. It also rejects an unknown
+// -format here, before a potentially expensive run whose output could
+// not be rendered.
+func (f *Flags) Scale() (experiments.Scale, error) {
+	var sc experiments.Scale
+	switch f.Format {
+	case "table", "csv", "json":
+	default:
+		return sc, fmt.Errorf("unknown format %q (table|csv|json)", f.Format)
+	}
+	switch f.ScaleName {
+	case "tiny":
+		sc = experiments.Tiny()
+	case "default":
+		sc = experiments.Default()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		return sc, fmt.Errorf("unknown scale %q (tiny|default|paper)", f.ScaleName)
+	}
+	set := map[string]bool{}
+	f.fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	// A positive override applies when the user passed the flag, or when
+	// it is a tool default and the selected preset is the tool's own
+	// default one.
+	override := func(name string, v float64) bool {
+		return v > 0 && (set[name] || f.ScaleName == f.defScale)
+	}
+	if override("reps", float64(f.Reps)) {
+		sc.Reps = f.Reps
+	}
+	if override("points", float64(f.Points)) {
+		sc.SweepPoints = f.Points
+	}
+	if override("seconds", f.Seconds) {
+		sc.SteadySeconds = f.Seconds
+	}
+	sc.Workers = f.Workers
+	return sc, nil
+}
+
+// Render renders the figure in the named format.
+func Render(fig *experiments.Figure, format string) (string, error) {
+	switch format {
+	case "table":
+		return fig.Table(), nil
+	case "csv":
+		return fig.CSV(), nil
+	case "json":
+		return fig.JSON()
+	}
+	return "", fmt.Errorf("unknown format %q (table|csv|json)", format)
+}
+
+// Emit writes the figure to w in the selected format.
+func (f *Flags) Emit(w io.Writer, fig *experiments.Figure) error {
+	s, err := Render(fig, f.Format)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, s)
+	return err
+}
+
+// Exitf prints a message to stderr and exits with the given status.
+func Exitf(code int, format string, a ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", a...)
+	os.Exit(code)
+}
+
+// Check exits with status 1 when err is non-nil.
+func Check(err error) {
+	if err != nil {
+		Exitf(1, "%v", err)
+	}
+}
+
+// ParseFloats parses a comma-separated float list ("0.1, 0.5,1").
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated integer list ("3, 10,50").
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

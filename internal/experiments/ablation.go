@@ -33,59 +33,60 @@ func DefaultAblation() AblationParams {
 
 // AblationImmediateAccess returns the per-index mean access delay with
 // and without the 802.11 immediate-access rule, over sc.Reps
-// replications each.
+// replications each. The unit of work is one (variant, replication)
+// pair: units 0..Reps-1 are standard DCF, units Reps..2*Reps-1 the
+// ablated variant.
 func AblationImmediateAccess(p AblationParams, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
-	run := func(disable bool, name string) (Series, error) {
-		var rows [][]float64
-		for rep := 0; rep < sc.Reps; rep++ {
-			r := sim.NewRand(p.Seed + int64(rep))
-			start := 500*sim.Millisecond + r.ExpTime(50*sim.Millisecond)
-			gI := sim.FromSeconds(float64(p.PacketSize*8) / p.ProbeRateBps)
-			end := start + sim.Time(p.TrainLen)*(gI+20*sim.Millisecond)
-			cfg := mac.Config{
-				Phy:                    phy.B11(),
-				Seed:                   p.Seed ^ int64(rep)*7919,
-				DisableImmediateAccess: disable,
-				Horizon:                end,
-				Stations: []mac.StationConfig{
-					{Arrivals: traffic.Train(p.TrainLen, gI, p.PacketSize, start)},
-					{Arrivals: traffic.Poisson(r.Split(1), p.CrossRateBps, p.PacketSize, 0, end)},
-				},
-			}
-			res, err := mac.Run(cfg)
-			if err != nil {
-				return Series{}, err
-			}
-			var row []float64
-			for _, f := range res.ProbeFrames(0) {
-				row = append(row, f.AccessDelay().Seconds())
-			}
-			rows = append(rows, row)
+	runOne := func(disable bool, rep int) ([]float64, error) {
+		r := sim.NewRand(p.Seed + int64(rep))
+		start := 500*sim.Millisecond + r.ExpTime(50*sim.Millisecond)
+		gI := sim.FromSeconds(float64(p.PacketSize*8) / p.ProbeRateBps)
+		end := start + sim.Time(p.TrainLen)*(gI+20*sim.Millisecond)
+		cfg := mac.Config{
+			Phy:                    phy.B11(),
+			Seed:                   p.Seed ^ int64(rep)*7919,
+			DisableImmediateAccess: disable,
+			Horizon:                end,
+			Stations: []mac.StationConfig{
+				{Arrivals: traffic.Train(p.TrainLen, gI, p.PacketSize, start)},
+				{Arrivals: traffic.Poisson(r.Split(1), p.CrossRateBps, p.PacketSize, 0, end)},
+			},
 		}
-		means := stats.RunningMeans(rows)
-		s := Series{Name: name}
-		for i, m := range means {
-			s.X = append(s.X, float64(i+1))
-			s.Y = append(s.Y, m*1e3)
+		res, err := mac.Run(cfg)
+		if err != nil {
+			return nil, err
 		}
-		return s, nil
+		var row []float64
+		for _, f := range res.ProbeFrames(0) {
+			row = append(row, f.AccessDelay().Seconds())
+		}
+		return row, nil
 	}
-	std, err := run(false, "standard DCF (immediate access)")
-	if err != nil {
-		return nil, err
-	}
-	abl, err := run(true, "no immediate access (ablation)")
-	if err != nil {
-		return nil, err
-	}
-	return &Figure{
-		ID:     "ablation-ia",
-		Title:  "Mean access delay per packet: immediate access vs ablated",
-		XLabel: "packet #",
-		YLabel: "access delay (ms)",
-		Series: []Series{std, abl},
-	}, nil
+	return Run(Scenario[[]float64]{
+		Seed:  p.Seed,
+		Units: 2 * sc.Reps,
+		RunOne: func(u int, _ sim.Stream) ([]float64, error) {
+			return runOne(u >= sc.Reps, u%sc.Reps)
+		},
+		Reduce: func(rowSets [][]float64) (*Figure, error) {
+			series := func(rows [][]float64, name string) Series {
+				means := stats.RunningMeans(rows)
+				s := Series{Name: name}
+				for i, m := range means {
+					s.X = append(s.X, float64(i+1))
+					s.Y = append(s.Y, m*1e3)
+				}
+				return s
+			}
+			std := series(rowSets[:sc.Reps], "standard DCF (immediate access)")
+			abl := series(rowSets[sc.Reps:], "no immediate access (ablation)")
+			return &Figure{
+				ID:     "ablation-ia",
+				Title:  "Mean access delay per packet: immediate access vs ablated",
+				XLabel: "packet #",
+				YLabel: "access delay (ms)",
+				Series: []Series{std, abl},
+			}, nil
+		},
+	}, sc)
 }

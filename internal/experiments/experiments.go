@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,27 @@ type Figure struct {
 	Series []Series
 }
 
+// xAlignment is the shared series-alignment index: the sorted union of
+// X values plus, per series, an x→point-index map so rendering a cell
+// is O(1) instead of a linear scan over the series.
+func (f *Figure) xAlignment() (order []float64, lookup []map[float64]int) {
+	xs := map[float64]bool{}
+	lookup = make([]map[float64]int, len(f.Series))
+	for si, s := range f.Series {
+		lookup[si] = make(map[float64]int, len(s.X))
+		for i, x := range s.X {
+			xs[x] = true
+			lookup[si][x] = i
+		}
+	}
+	order = make([]float64, 0, len(xs))
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Float64s(order)
+	return order, lookup
+}
+
 // CSV renders the figure as comma-separated values with one row per X
 // value and one column per series. Series are aligned on the union of X
 // values; missing points render empty.
@@ -44,31 +66,29 @@ func (f *Figure) CSV() string {
 	}
 	b.WriteString("\n")
 
-	xs := map[float64]bool{}
-	for _, s := range f.Series {
-		for _, x := range s.X {
-			xs[x] = true
-		}
-	}
-	order := make([]float64, 0, len(xs))
-	for x := range xs {
-		order = append(order, x)
-	}
-	sort.Float64s(order)
+	order, lookup := f.xAlignment()
 	for _, x := range order {
 		fmt.Fprintf(&b, "%g", x)
-		for _, s := range f.Series {
+		for si, s := range f.Series {
 			b.WriteString(",")
-			for i, sx := range s.X {
-				if sx == x {
-					fmt.Fprintf(&b, "%g", s.Y[i])
-					break
-				}
+			if i, ok := lookup[si][x]; ok {
+				fmt.Fprintf(&b, "%g", s.Y[i])
 			}
 		}
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// JSON renders the figure as indented JSON, the machine-readable
+// counterpart of CSV for downstream tooling. Output is deterministic
+// for a given figure.
+func (f *Figure) JSON() (string, error) {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode %s: %w", f.ID, err)
+	}
+	return string(b) + "\n", nil
 }
 
 // Table renders a fixed-width text table, the harness's stand-in for a
@@ -82,29 +102,13 @@ func (f *Figure) Table() string {
 	}
 	b.WriteString("\n")
 
-	xs := map[float64]bool{}
-	for _, s := range f.Series {
-		for _, x := range s.X {
-			xs[x] = true
-		}
-	}
-	order := make([]float64, 0, len(xs))
-	for x := range xs {
-		order = append(order, x)
-	}
-	sort.Float64s(order)
+	order, lookup := f.xAlignment()
 	for _, x := range order {
 		fmt.Fprintf(&b, "%-14.4g", x)
-		for _, s := range f.Series {
-			found := false
-			for i, sx := range s.X {
-				if sx == x {
-					fmt.Fprintf(&b, " %20.6g", s.Y[i])
-					found = true
-					break
-				}
-			}
-			if !found {
+		for si, s := range f.Series {
+			if i, ok := lookup[si][x]; ok {
+				fmt.Fprintf(&b, " %20.6g", s.Y[i])
+			} else {
 				fmt.Fprintf(&b, " %20s", "")
 			}
 		}
@@ -131,6 +135,10 @@ type Scale struct {
 	SweepPoints int
 	// SteadySeconds is the duration of steady-state measurements.
 	SteadySeconds float64
+	// Workers bounds the worker pool executing independent replications
+	// and sweep points; 0 or negative means GOMAXPROCS. Results are
+	// byte-identical at any worker count for the same seed.
+	Workers int
 }
 
 // Tiny is for unit tests: every path runs, no statistical claims.
@@ -150,7 +158,13 @@ func (s Scale) validate() error {
 }
 
 // sweep returns n rate points spanning [lo, hi] inclusive, in bit/s.
+// Drivers call it before Run validates the Scale, so an invalid point
+// count yields an empty sweep here and the validation error there
+// rather than a panic.
 func sweep(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return nil
+	}
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)

@@ -2,20 +2,21 @@ package experiments
 
 import "fmt"
 
-// Runner produces one figure at a given scale with the paper-default
-// parameters.
-type Runner func(sc Scale) (*Figure, error)
+// Driver produces one figure at a given scale with the paper-default
+// parameters. Every driver is Scenario-backed, so sc.Workers bounds its
+// worker pool and its output is byte-identical at any worker count.
+type Driver func(sc Scale) (*Figure, error)
 
-// Registry maps figure IDs to their default-parameter runners, in the
+// Registry maps figure IDs to their default-parameter drivers, in the
 // order they appear in the paper. cmd/figures iterates this to
 // regenerate the full evaluation.
 func Registry() []struct {
 	ID  string
-	Run Runner
+	Run Driver
 } {
 	return []struct {
 		ID  string
-		Run Runner
+		Run Driver
 	}{
 		{"fig01", func(sc Scale) (*Figure, error) { return Fig1SteadyStateRRC(DefaultFig1(), sc) }},
 		{"fig04", func(sc Scale) (*Figure, error) { return Fig4CompleteRRC(DefaultFig4(), sc) }},
@@ -39,8 +40,8 @@ func Registry() []struct {
 	}
 }
 
-// Lookup returns the runner for a figure ID.
-func Lookup(id string) (Runner, error) {
+// Lookup returns the driver for a figure ID.
+func Lookup(id string) (Driver, error) {
 	for _, e := range Registry() {
 		if e.ID == id {
 			return e.Run, nil

@@ -22,38 +22,51 @@ func DefaultFig1() Fig1Params {
 	return Fig1Params{CrossRateBps: 4.5e6, PacketSize: 1500, MaxProbeBps: 10e6, Seed: 1}
 }
 
+// ssPoint is one measured operating point of a steady-state sweep.
+type ssPoint struct {
+	x                  float64
+	probe, cross, fifo float64
+}
+
 // Fig1SteadyStateRRC sweeps the probing rate and measures, in steady
-// state, the probe output rate and the cross-traffic carried rate.
+// state, the probe output rate and the cross-traffic carried rate. Each
+// sweep point is an independent unit on the worker pool.
 func Fig1SteadyStateRRC(p Fig1Params, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
+	rates := sweep(0.25e6, p.MaxProbeBps, sc.SweepPoints)
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	probeS := Series{Name: "probe ro (Mb/s)"}
-	crossS := Series{Name: "cross throughput (Mb/s)"}
-	for i, ri := range sweep(0.25e6, p.MaxProbeBps, sc.SweepPoints) {
-		l := probe.Link{
-			ProbeSize:  p.PacketSize,
-			Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
-			Seed:       p.Seed + int64(i)*101,
-		}
-		ss, err := probe.MeasureSteadyState(l, ri, dur)
-		if err != nil {
-			return nil, err
-		}
-		x := ri / 1e6
-		probeS.X = append(probeS.X, x)
-		probeS.Y = append(probeS.Y, ss.ProbeRate/1e6)
-		crossS.X = append(crossS.X, x)
-		crossS.Y = append(crossS.Y, ss.CrossRates[0]/1e6)
-	}
-	return &Figure{
-		ID:     "fig01",
-		Title:  "Steady-state rate response with contending cross-traffic",
-		XLabel: "ri (Mb/s)",
-		YLabel: "throughput (Mb/s)",
-		Series: []Series{probeS, crossS},
-	}, nil
+	return Run(Scenario[ssPoint]{
+		Seed:  p.Seed,
+		Units: len(rates),
+		RunOne: func(i int, _ sim.Stream) (ssPoint, error) {
+			l := probe.Link{
+				ProbeSize:  p.PacketSize,
+				Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
+				Seed:       p.Seed + int64(i)*101,
+			}
+			ss, err := probe.MeasureSteadyState(l, rates[i], dur)
+			if err != nil {
+				return ssPoint{}, err
+			}
+			return ssPoint{x: rates[i] / 1e6, probe: ss.ProbeRate / 1e6, cross: ss.CrossRates[0] / 1e6}, nil
+		},
+		Reduce: func(pts []ssPoint) (*Figure, error) {
+			probeS := Series{Name: "probe ro (Mb/s)"}
+			crossS := Series{Name: "cross throughput (Mb/s)"}
+			for _, pt := range pts {
+				probeS.X = append(probeS.X, pt.x)
+				probeS.Y = append(probeS.Y, pt.probe)
+				crossS.X = append(crossS.X, pt.x)
+				crossS.Y = append(crossS.Y, pt.cross)
+			}
+			return &Figure{
+				ID:     "fig01",
+				Title:  "Steady-state rate response with contending cross-traffic",
+				XLabel: "ri (Mb/s)",
+				YLabel: "throughput (Mb/s)",
+				Series: []Series{probeS, crossS},
+			}, nil
+		},
+	}, sc)
 }
 
 // Fig4Params configures the complete-picture experiment of Figure 4:
@@ -76,37 +89,48 @@ func DefaultFig4() Fig4Params {
 // Fig4CompleteRRC sweeps the probing rate in the complete model and
 // reports probe, contending-cross and FIFO-cross carried rates.
 func Fig4CompleteRRC(p Fig4Params, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
+	rates := sweep(0.25e6, p.MaxProbeBps, sc.SweepPoints)
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	probeS := Series{Name: "probe ro (Mb/s)"}
-	contS := Series{Name: "contending cross (Mb/s)"}
-	fifoS := Series{Name: "FIFO cross (Mb/s)"}
-	for i, ri := range sweep(0.25e6, p.MaxProbeBps, sc.SweepPoints) {
-		l := probe.Link{
-			ProbeSize:  p.PacketSize,
-			FIFOCross:  []probe.Flow{{RateBps: p.FIFOCrossBps, Size: p.PacketSize}},
-			Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
-			Seed:       p.Seed + int64(i)*101,
-		}
-		ss, err := probe.MeasureSteadyState(l, ri, dur)
-		if err != nil {
-			return nil, err
-		}
-		x := ri / 1e6
-		probeS.X = append(probeS.X, x)
-		probeS.Y = append(probeS.Y, ss.ProbeRate/1e6)
-		contS.X = append(contS.X, x)
-		contS.Y = append(contS.Y, ss.CrossRates[0]/1e6)
-		fifoS.X = append(fifoS.X, x)
-		fifoS.Y = append(fifoS.Y, ss.FIFORate/1e6)
-	}
-	return &Figure{
-		ID:     "fig04",
-		Title:  "Complete steady-state rate response (FIFO + contending cross-traffic)",
-		XLabel: "ri (Mb/s)",
-		YLabel: "throughput (Mb/s)",
-		Series: []Series{probeS, contS, fifoS},
-	}, nil
+	return Run(Scenario[ssPoint]{
+		Seed:  p.Seed,
+		Units: len(rates),
+		RunOne: func(i int, _ sim.Stream) (ssPoint, error) {
+			l := probe.Link{
+				ProbeSize:  p.PacketSize,
+				FIFOCross:  []probe.Flow{{RateBps: p.FIFOCrossBps, Size: p.PacketSize}},
+				Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
+				Seed:       p.Seed + int64(i)*101,
+			}
+			ss, err := probe.MeasureSteadyState(l, rates[i], dur)
+			if err != nil {
+				return ssPoint{}, err
+			}
+			return ssPoint{
+				x:     rates[i] / 1e6,
+				probe: ss.ProbeRate / 1e6,
+				cross: ss.CrossRates[0] / 1e6,
+				fifo:  ss.FIFORate / 1e6,
+			}, nil
+		},
+		Reduce: func(pts []ssPoint) (*Figure, error) {
+			probeS := Series{Name: "probe ro (Mb/s)"}
+			contS := Series{Name: "contending cross (Mb/s)"}
+			fifoS := Series{Name: "FIFO cross (Mb/s)"}
+			for _, pt := range pts {
+				probeS.X = append(probeS.X, pt.x)
+				probeS.Y = append(probeS.Y, pt.probe)
+				contS.X = append(contS.X, pt.x)
+				contS.Y = append(contS.Y, pt.cross)
+				fifoS.X = append(fifoS.X, pt.x)
+				fifoS.Y = append(fifoS.Y, pt.fifo)
+			}
+			return &Figure{
+				ID:     "fig04",
+				Title:  "Complete steady-state rate response (FIFO + contending cross-traffic)",
+				XLabel: "ri (Mb/s)",
+				YLabel: "throughput (Mb/s)",
+				Series: []Series{probeS, contS, fifoS},
+			}, nil
+		},
+	}, sc)
 }

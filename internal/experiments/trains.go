@@ -41,10 +41,15 @@ func DefaultFig15() TrainRRCParams {
 	return p
 }
 
+// link builds the measured link for one unit. Workers is pinned to 1:
+// the Scenario already parallelizes across (curve, point) units, so the
+// inner replication loop staying serial keeps total concurrency at the
+// configured worker count instead of its square.
 func (p TrainRRCParams) link(seed int64) probe.Link {
 	l := probe.Link{
 		ProbeSize: p.PacketSize,
 		Seed:      seed,
+		Workers:   1,
 	}
 	if p.ContendingBps > 0 {
 		l.Contenders = []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}}
@@ -57,44 +62,56 @@ func (p TrainRRCParams) link(seed int64) probe.Link {
 
 // TrainRRC produces the dispersion-inferred rate response L/E[gO] for
 // each configured train length, plus the steady-state curve measured
-// with long constant-rate probing.
+// with long constant-rate probing. The units of work are the (curve,
+// rate point) pairs: unit u measures point u%P of curve u/P, where
+// curve 0 is the steady-state sweep and curve k>0 is the k-th train
+// length.
 func TrainRRC(id string, p TrainRRCParams, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
 	rates := sweep(0.5e6, p.MaxProbeBps, sc.SweepPoints)
-
-	steady := Series{Name: "steady state"}
+	nPoints := len(rates)
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	for i, ri := range rates {
-		ss, err := probe.MeasureSteadyState(p.link(p.Seed+int64(i)*37), ri, dur)
-		if err != nil {
-			return nil, err
-		}
-		steady.X = append(steady.X, ri/1e6)
-		steady.Y = append(steady.Y, ss.ProbeRate/1e6)
-	}
-
-	fig := &Figure{
-		ID:     id,
-		Title:  "Dispersion-inferred rate response of short trains vs steady state",
-		XLabel: "ri (Mb/s)",
-		YLabel: "L/E[gO] (Mb/s)",
-		Series: []Series{steady},
-	}
-	for _, n := range p.TrainLens {
-		s := Series{Name: fmt.Sprintf("train of %d packets", n)}
-		for i, ri := range rates {
+	type pt struct{ x, y float64 }
+	return Run(Scenario[pt]{
+		Seed:  p.Seed,
+		Units: nPoints * (1 + len(p.TrainLens)),
+		RunOne: func(u int, _ sim.Stream) (pt, error) {
+			curve, i := u/nPoints, u%nPoints
+			ri := rates[i]
+			if curve == 0 {
+				ss, err := probe.MeasureSteadyState(p.link(p.Seed+int64(i)*37), ri, dur)
+				if err != nil {
+					return pt{}, err
+				}
+				return pt{x: ri / 1e6, y: ss.ProbeRate / 1e6}, nil
+			}
+			n := p.TrainLens[curve-1]
 			ts, err := probe.MeasureTrain(p.link(p.Seed+int64(n*1000+i)), n, ri, sc.Reps)
 			if err != nil {
-				return nil, err
+				return pt{}, err
 			}
-			s.X = append(s.X, ri/1e6)
-			s.Y = append(s.Y, ts.RateEstimate()/1e6)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+			return pt{x: ri / 1e6, y: ts.RateEstimate() / 1e6}, nil
+		},
+		Reduce: func(pts []pt) (*Figure, error) {
+			fig := &Figure{
+				ID:     id,
+				Title:  "Dispersion-inferred rate response of short trains vs steady state",
+				XLabel: "ri (Mb/s)",
+				YLabel: "L/E[gO] (Mb/s)",
+			}
+			for curve := 0; curve <= len(p.TrainLens); curve++ {
+				s := Series{Name: "steady state"}
+				if curve > 0 {
+					s.Name = fmt.Sprintf("train of %d packets", p.TrainLens[curve-1])
+				}
+				for _, pt := range pts[curve*nPoints : (curve+1)*nPoints] {
+					s.X = append(s.X, pt.x)
+					s.Y = append(s.Y, pt.y)
+				}
+				fig.Series = append(fig.Series, s)
+			}
+			return fig, nil
+		},
+	}, sc)
 }
 
 // Fig16Params configures the packet-pair experiment of Figure 16.
@@ -118,39 +135,48 @@ func DefaultFig16() Fig16Params {
 // achievable throughput (fluid response, measured with a saturating
 // long flow) against the packet-pair dispersion inference. The pair
 // overestimates everywhere except at zero cross-traffic (Section 7.3).
+// Each cross-traffic level is an independent unit on the worker pool.
 func Fig16PacketPair(p Fig16Params, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
-	fluid := Series{Name: "fluid response (actual)"}
-	pair := Series{Name: "packet pair inference"}
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	for i, cr := range p.CrossRates {
-		l := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed + int64(i)*61}
-		if cr > 0 {
-			l.Contenders = []probe.Flow{{RateBps: cr, Size: p.PacketSize}}
-		}
-		ss, err := probe.MeasureSteadyState(l, p.SaturateBps, dur)
-		if err != nil {
-			return nil, err
-		}
-		est, err := probe.MeasurePair(l, sc.Reps)
-		if err != nil {
-			return nil, err
-		}
-		x := cr / 1e6
-		fluid.X = append(fluid.X, x)
-		fluid.Y = append(fluid.Y, ss.ProbeRate/1e6)
-		pair.X = append(pair.X, x)
-		pair.Y = append(pair.Y, est/1e6)
-	}
-	return &Figure{
-		ID:     "fig16",
-		Title:  "Packet-pair inference vs actual achievable throughput",
-		XLabel: "cross-traffic rate (Mb/s)",
-		YLabel: "achievable throughput (Mb/s)",
-		Series: []Series{fluid, pair},
-	}, nil
+	type pt struct{ x, fluid, pair float64 }
+	return Run(Scenario[pt]{
+		Seed:  p.Seed,
+		Units: len(p.CrossRates),
+		RunOne: func(i int, _ sim.Stream) (pt, error) {
+			cr := p.CrossRates[i]
+			// Workers pinned to 1: the Scenario parallelizes across cross-traffic levels.
+			l := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed + int64(i)*61, Workers: 1}
+			if cr > 0 {
+				l.Contenders = []probe.Flow{{RateBps: cr, Size: p.PacketSize}}
+			}
+			ss, err := probe.MeasureSteadyState(l, p.SaturateBps, dur)
+			if err != nil {
+				return pt{}, err
+			}
+			est, err := probe.MeasurePair(l, sc.Reps)
+			if err != nil {
+				return pt{}, err
+			}
+			return pt{x: cr / 1e6, fluid: ss.ProbeRate / 1e6, pair: est / 1e6}, nil
+		},
+		Reduce: func(pts []pt) (*Figure, error) {
+			fluid := Series{Name: "fluid response (actual)"}
+			pair := Series{Name: "packet pair inference"}
+			for _, pt := range pts {
+				fluid.X = append(fluid.X, pt.x)
+				fluid.Y = append(fluid.Y, pt.fluid)
+				pair.X = append(pair.X, pt.x)
+				pair.Y = append(pair.Y, pt.pair)
+			}
+			return &Figure{
+				ID:     "fig16",
+				Title:  "Packet-pair inference vs actual achievable throughput",
+				XLabel: "cross-traffic rate (Mb/s)",
+				YLabel: "achievable throughput (Mb/s)",
+				Series: []Series{fluid, pair},
+			}, nil
+		},
+	}, sc)
 }
 
 // Fig17Params configures the MSER-corrected measurement of Figure 17.
@@ -177,57 +203,78 @@ func DefaultFig17() Fig17Params {
 
 // Fig17MSER compares the raw 20-packet-train rate response against the
 // MSER-m corrected one and the steady-state curve (Section 7.4: the
-// corrected curve approaches steady state without longer trains).
+// corrected curve approaches steady state without longer trains). Each
+// rate point is an independent unit on the worker pool; points whose
+// trains were entirely dropped are skipped, as in the paper's ensembles.
 func Fig17MSER(p Fig17Params, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
 	rates := sweep(1e6, p.MaxProbeBps, sc.SweepPoints)
-	steady := Series{Name: "steady state"}
-	raw := Series{Name: fmt.Sprintf("train of %d packets", p.TrainLen)}
-	corrected := Series{Name: fmt.Sprintf("train of %d packets (MSER-%d)", p.TrainLen, p.MSERBatch)}
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	for i, ri := range rates {
-		l := probe.Link{
-			ProbeSize:  p.PacketSize,
-			Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
-			Seed:       p.Seed + int64(i)*41,
-		}
-		ss, err := probe.MeasureSteadyState(l, ri, dur)
-		if err != nil {
-			return nil, err
-		}
-		ts, err := probe.MeasureTrain(l, p.TrainLen, ri, sc.Reps)
-		if err != nil {
-			return nil, err
-		}
-		// MSER correction applied to the ensemble: the per-position mean
-		// gap series locates the transient, every train is truncated
-		// there, and the remainder averaged (Section 7.4).
-		rows := ts.InterDepartureGaps()
-		usable := rows[:0]
-		for _, gaps := range rows {
-			if len(gaps) >= 2 {
-				usable = append(usable, gaps)
-			}
-		}
-		if len(usable) == 0 {
-			continue
-		}
-		x := ri / 1e6
-		steady.X = append(steady.X, x)
-		steady.Y = append(steady.Y, ss.ProbeRate/1e6)
-		raw.X = append(raw.X, x)
-		raw.Y = append(raw.Y, core.RateFromGap(p.PacketSize, core.RawGapRows(usable))/1e6)
-		corrected.X = append(corrected.X, x)
-		corrected.Y = append(corrected.Y,
-			core.RateFromGap(p.PacketSize, core.CorrectedGapByPosition(usable, p.MSERBatch))/1e6)
+	type pt struct {
+		ok                        bool
+		x, steady, raw, corrected float64
 	}
-	return &Figure{
-		ID:     "fig17",
-		Title:  "MSER-corrected short-train measurement vs raw and steady state",
-		XLabel: "ri (Mb/s)",
-		YLabel: "L/E[gO] (Mb/s)",
-		Series: []Series{steady, raw, corrected},
-	}, nil
+	return Run(Scenario[pt]{
+		Seed:  p.Seed,
+		Units: len(rates),
+		RunOne: func(i int, _ sim.Stream) (pt, error) {
+			ri := rates[i]
+			l := probe.Link{
+				ProbeSize:  p.PacketSize,
+				Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
+				Seed:       p.Seed + int64(i)*41,
+				Workers:    1, // Scenario parallelizes across rate points
+			}
+			ss, err := probe.MeasureSteadyState(l, ri, dur)
+			if err != nil {
+				return pt{}, err
+			}
+			ts, err := probe.MeasureTrain(l, p.TrainLen, ri, sc.Reps)
+			if err != nil {
+				return pt{}, err
+			}
+			// MSER correction applied to the ensemble: the per-position mean
+			// gap series locates the transient, every train is truncated
+			// there, and the remainder averaged (Section 7.4).
+			rows := ts.InterDepartureGaps()
+			usable := rows[:0]
+			for _, gaps := range rows {
+				if len(gaps) >= 2 {
+					usable = append(usable, gaps)
+				}
+			}
+			if len(usable) == 0 {
+				return pt{}, nil
+			}
+			return pt{
+				ok:        true,
+				x:         ri / 1e6,
+				steady:    ss.ProbeRate / 1e6,
+				raw:       core.RateFromGap(p.PacketSize, core.RawGapRows(usable)) / 1e6,
+				corrected: core.RateFromGap(p.PacketSize, core.CorrectedGapByPosition(usable, p.MSERBatch)) / 1e6,
+			}, nil
+		},
+		Reduce: func(pts []pt) (*Figure, error) {
+			steady := Series{Name: "steady state"}
+			raw := Series{Name: fmt.Sprintf("train of %d packets", p.TrainLen)}
+			corrected := Series{Name: fmt.Sprintf("train of %d packets (MSER-%d)", p.TrainLen, p.MSERBatch)}
+			for _, pt := range pts {
+				if !pt.ok {
+					continue
+				}
+				steady.X = append(steady.X, pt.x)
+				steady.Y = append(steady.Y, pt.steady)
+				raw.X = append(raw.X, pt.x)
+				raw.Y = append(raw.Y, pt.raw)
+				corrected.X = append(corrected.X, pt.x)
+				corrected.Y = append(corrected.Y, pt.corrected)
+			}
+			return &Figure{
+				ID:     "fig17",
+				Title:  "MSER-corrected short-train measurement vs raw and steady state",
+				XLabel: "ri (Mb/s)",
+				YLabel: "L/E[gO] (Mb/s)",
+				Series: []Series{steady, raw, corrected},
+			}, nil
+		},
+	}, sc)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"csmabw/internal/probe"
+	"csmabw/internal/sim"
 	"csmabw/internal/stats"
 	"csmabw/internal/traffic"
 )
@@ -68,94 +69,101 @@ func (p TransientParams) link() probe.Link {
 	}
 }
 
-// measure runs the replicated train and returns the per-replication
-// access-delay rows (seconds) and queue-length rows.
-func (p TransientParams) measure(sc Scale) (delays, queues [][]float64, err error) {
-	ts, err := probe.MeasureTrain(p.link(), p.TrainLen, p.ProbeRateBps, sc.Reps)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ts.DelaysByIndex(), ts.QueueByIndex(), nil
+// runOne is the shared replication unit of the transient drivers: one
+// independent probing train, derived purely from (params, rep).
+func (p TransientParams) runOne(rep int, _ sim.Stream) (probe.TrainSample, error) {
+	return probe.MeasureTrainOne(p.link(), p.TrainLen, p.ProbeRateBps, rep)
+}
+
+// rows converts ordered replication samples to the per-replication
+// access-delay (seconds) and queue-length matrices the analyses use.
+func rows(samples []probe.TrainSample) (delays, queues [][]float64) {
+	ts := &probe.TrainStats{Samples: samples}
+	return ts.DelaysByIndex(), ts.QueueByIndex()
 }
 
 // Fig6MeanAccessDelay reproduces Figure 6: the mean access delay of
 // each of the first `show` probe packets across replications, exposing
 // the transient acceleration of early packets.
 func Fig6MeanAccessDelay(p TransientParams, sc Scale, show int) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
-	delays, _, err := p.measure(sc)
-	if err != nil {
-		return nil, err
-	}
-	means := stats.RunningMeans(delays)
-	if show > len(means) {
-		show = len(means)
-	}
-	s := Series{Name: "mean access delay (ms)"}
-	for i := 0; i < show; i++ {
-		s.X = append(s.X, float64(i+1))
-		s.Y = append(s.Y, means[i]*1e3)
-	}
-	return &Figure{
-		ID:     "fig06",
-		Title:  "Mean access delay vs probe packet number",
-		XLabel: "packet #",
-		YLabel: "access delay (ms)",
-		Series: []Series{s},
-	}, nil
+	return Run(Scenario[probe.TrainSample]{
+		Seed:   p.Seed,
+		Units:  sc.Reps,
+		RunOne: p.runOne,
+		Reduce: func(samples []probe.TrainSample) (*Figure, error) {
+			delays, _ := rows(samples)
+			means := stats.RunningMeans(delays)
+			n := show
+			if n > len(means) {
+				n = len(means)
+			}
+			s := Series{Name: "mean access delay (ms)"}
+			for i := 0; i < n; i++ {
+				s.X = append(s.X, float64(i+1))
+				s.Y = append(s.Y, means[i]*1e3)
+			}
+			return &Figure{
+				ID:     "fig06",
+				Title:  "Mean access delay vs probe packet number",
+				XLabel: "packet #",
+				YLabel: "access delay (ms)",
+				Series: []Series{s},
+			}, nil
+		},
+	}, sc)
 }
 
 // Fig7Histograms reproduces Figure 7: the access-delay histogram of the
 // first packet against that of a late (steady-state) packet.
 func Fig7Histograms(p TransientParams, sc Scale, latePacket, bins int) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
-	delays, _, err := p.measure(sc)
-	if err != nil {
-		return nil, err
-	}
-	first := stats.Column(delays, 0)
-	if latePacket >= p.TrainLen {
-		latePacket = p.TrainLen - 1
-	}
-	late := stats.Column(delays, latePacket)
-	if len(first) == 0 || len(late) == 0 {
-		return nil, fmt.Errorf("experiments: no samples for histogram")
-	}
-	// Shared range across both histograms.
-	lo, hi := first[0], first[0]
-	for _, v := range append(append([]float64{}, first...), late...) {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	if hi == lo {
-		hi = lo + 1e-6
-	}
-	h1 := stats.NewHistogram(first, lo, hi, bins)
-	h2 := stats.NewHistogram(late, lo, hi, bins)
-	s1 := Series{Name: "packet 1"}
-	s2 := Series{Name: fmt.Sprintf("packet %d", latePacket+1)}
-	for i := 0; i < bins; i++ {
-		x := h1.BinCenter(i) * 1e3 // ms
-		s1.X = append(s1.X, x)
-		s1.Y = append(s1.Y, float64(h1.Counts[i]))
-		s2.X = append(s2.X, x)
-		s2.Y = append(s2.Y, float64(h2.Counts[i]))
-	}
-	return &Figure{
-		ID:     "fig07",
-		Title:  "Access delay histograms: first vs late packet",
-		XLabel: "access delay (ms)",
-		YLabel: "count",
-		Series: []Series{s1, s2},
-	}, nil
+	return Run(Scenario[probe.TrainSample]{
+		Seed:   p.Seed,
+		Units:  sc.Reps,
+		RunOne: p.runOne,
+		Reduce: func(samples []probe.TrainSample) (*Figure, error) {
+			delays, _ := rows(samples)
+			first := stats.Column(delays, 0)
+			lateIdx := latePacket
+			if lateIdx >= p.TrainLen {
+				lateIdx = p.TrainLen - 1
+			}
+			late := stats.Column(delays, lateIdx)
+			if len(first) == 0 || len(late) == 0 {
+				return nil, fmt.Errorf("experiments: no samples for histogram")
+			}
+			// Shared range across both histograms.
+			lo, hi := first[0], first[0]
+			for _, v := range append(append([]float64{}, first...), late...) {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi == lo {
+				hi = lo + 1e-6
+			}
+			h1 := stats.NewHistogram(first, lo, hi, bins)
+			h2 := stats.NewHistogram(late, lo, hi, bins)
+			s1 := Series{Name: "packet 1"}
+			s2 := Series{Name: fmt.Sprintf("packet %d", lateIdx+1)}
+			for i := 0; i < bins; i++ {
+				x := h1.BinCenter(i) * 1e3 // ms
+				s1.X = append(s1.X, x)
+				s1.Y = append(s1.Y, float64(h1.Counts[i]))
+				s2.X = append(s2.X, x)
+				s2.Y = append(s2.Y, float64(h2.Counts[i]))
+			}
+			return &Figure{
+				ID:     "fig07",
+				Title:  "Access delay histograms: first vs late packet",
+				XLabel: "access delay (ms)",
+				YLabel: "count",
+				Series: []Series{s1, s2},
+			}, nil
+		},
+	}, sc)
 }
 
 // KSOptions configures the per-index KS analysis of Figures 8 and 9.
@@ -182,56 +190,57 @@ func DefaultKSOptions(trainLen int) KSOptions {
 // steady-state pool, the 95% threshold line, and (when queue samples
 // exist) the mean contender queue length per index.
 func FigKS(id string, p TransientParams, sc Scale, opt KSOptions) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
-	delays, queues, err := p.measure(sc)
-	if err != nil {
-		return nil, err
-	}
-	tail := stats.Tail(delays, opt.TailFrom)
-	if len(tail) == 0 {
-		return nil, fmt.Errorf("experiments: empty steady-state pool (TailFrom=%d)", opt.TailFrom)
-	}
-	ksS := Series{Name: "KS value"}
-	thrS := Series{Name: "threshold 95% CI"}
-	if opt.Packets > p.TrainLen {
-		opt.Packets = p.TrainLen
-	}
-	for i := 0; i < opt.Packets; i++ {
-		col := stats.Column(delays, i)
-		if len(col) == 0 {
-			continue
-		}
-		var res stats.KSResult
-		if opt.Interpolate {
-			res = stats.KSTwoSampleInterp(col, tail, opt.Alpha)
-		} else {
-			res = stats.KSTwoSample(col, tail, opt.Alpha)
-		}
-		x := float64(i + 1)
-		ksS.X = append(ksS.X, x)
-		ksS.Y = append(ksS.Y, res.D)
-		thrS.X = append(thrS.X, x)
-		thrS.Y = append(thrS.Y, res.Threshold)
-	}
-	fig := &Figure{
-		ID:     id,
-		Title:  "KS test of per-packet access delay vs steady state",
-		XLabel: "packet #",
-		YLabel: "KS value",
-		Series: []Series{ksS, thrS},
-	}
-	if len(queues) > 0 && len(queues[0]) > 0 {
-		qMeans := stats.RunningMeans(queues)
-		qS := Series{Name: "mean contender queue (pkts)"}
-		for i := 0; i < opt.Packets && i < len(qMeans); i++ {
-			qS.X = append(qS.X, float64(i+1))
-			qS.Y = append(qS.Y, qMeans[i])
-		}
-		fig.Series = append(fig.Series, qS)
-	}
-	return fig, nil
+	return Run(Scenario[probe.TrainSample]{
+		Seed:   p.Seed,
+		Units:  sc.Reps,
+		RunOne: p.runOne,
+		Reduce: func(samples []probe.TrainSample) (*Figure, error) {
+			delays, queues := rows(samples)
+			tail := stats.Tail(delays, opt.TailFrom)
+			if len(tail) == 0 {
+				return nil, fmt.Errorf("experiments: empty steady-state pool (TailFrom=%d)", opt.TailFrom)
+			}
+			ksS := Series{Name: "KS value"}
+			thrS := Series{Name: "threshold 95% CI"}
+			if opt.Packets > p.TrainLen {
+				opt.Packets = p.TrainLen
+			}
+			for i := 0; i < opt.Packets; i++ {
+				col := stats.Column(delays, i)
+				if len(col) == 0 {
+					continue
+				}
+				var res stats.KSResult
+				if opt.Interpolate {
+					res = stats.KSTwoSampleInterp(col, tail, opt.Alpha)
+				} else {
+					res = stats.KSTwoSample(col, tail, opt.Alpha)
+				}
+				x := float64(i + 1)
+				ksS.X = append(ksS.X, x)
+				ksS.Y = append(ksS.Y, res.D)
+				thrS.X = append(thrS.X, x)
+				thrS.Y = append(thrS.Y, res.Threshold)
+			}
+			fig := &Figure{
+				ID:     id,
+				Title:  "KS test of per-packet access delay vs steady state",
+				XLabel: "packet #",
+				YLabel: "KS value",
+				Series: []Series{ksS, thrS},
+			}
+			if len(queues) > 0 && len(queues[0]) > 0 {
+				qMeans := stats.RunningMeans(queues)
+				qS := Series{Name: "mean contender queue (pkts)"}
+				for i := 0; i < opt.Packets && i < len(qMeans); i++ {
+					qS.X = append(qS.X, float64(i+1))
+					qS.Y = append(qS.Y, qMeans[i])
+				}
+				fig.Series = append(fig.Series, qS)
+			}
+			return fig, nil
+		},
+	}, sc)
 }
 
 // Fig10Params configures the transient-duration study of Figure 10.
@@ -260,50 +269,54 @@ func DefaultFig10() Fig10Params {
 
 // Fig10TransientDuration estimates, for each offered cross load, the
 // first probe packet whose mean access delay lies (and stays) within
-// each tolerance of the steady-state mean.
+// each tolerance of the steady-state mean. Each cross load is an
+// independent unit on the worker pool.
 func Fig10TransientDuration(p Fig10Params, sc Scale) (*Figure, error) {
-	if err := sc.validate(); err != nil {
-		return nil, err
-	}
-	l := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed}
-	phyP := l.Phy
-	if phyP.Name == "" {
-		// Resolve defaults to convert Erlangs to rates.
-		tmp := probe.Link{}.WithDefaults()
-		phyP = tmp.Phy
-	}
+	phyP := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed}.WithDefaults().Phy
 	probeRate := traffic.RateForLoad(phyP, p.ProbeLoadErlang, p.PacketSize)
-
-	series := make([]Series, len(p.Tolerances))
-	for ti, tol := range p.Tolerances {
-		series[ti] = Series{Name: fmt.Sprintf("tolerance %g", tol)}
-	}
-	for li, load := range p.CrossLoads {
-		crossRate := traffic.RateForLoad(phyP, load, p.PacketSize)
-		link := probe.Link{
-			ProbeSize:  p.PacketSize,
-			Contenders: []probe.Flow{{RateBps: crossRate, Size: p.PacketSize}},
-			Seed:       p.Seed + int64(li)*977,
-		}
-		ts, err := probe.MeasureTrain(link, p.TrainLen, probeRate, sc.Reps)
-		if err != nil {
-			return nil, err
-		}
-		means := stats.RunningMeans(ts.DelaysByIndex())
-		// Steady state: mean over the last quarter of indices.
-		tailFrom := len(means) * 3 / 4
-		steady := stats.Mean(means[tailFrom:])
-		for ti, tol := range p.Tolerances {
-			n := stats.TransientLength(means[:tailFrom], steady, tol)
-			series[ti].X = append(series[ti].X, load)
-			series[ti].Y = append(series[ti].Y, float64(n))
-		}
-	}
-	return &Figure{
-		ID:     "fig10",
-		Title:  "Estimated transient duration vs offered cross-traffic load (probe load 1 Erlang)",
-		XLabel: "cross load (Erlang)",
-		YLabel: "transient length (packets)",
-		Series: series,
-	}, nil
+	return Run(Scenario[[]int]{
+		Seed:  p.Seed,
+		Units: len(p.CrossLoads),
+		RunOne: func(li int, _ sim.Stream) ([]int, error) {
+			crossRate := traffic.RateForLoad(phyP, p.CrossLoads[li], p.PacketSize)
+			link := probe.Link{
+				ProbeSize:  p.PacketSize,
+				Contenders: []probe.Flow{{RateBps: crossRate, Size: p.PacketSize}},
+				Seed:       p.Seed + int64(li)*977,
+				Workers:    1, // Scenario parallelizes across load points
+			}
+			ts, err := probe.MeasureTrain(link, p.TrainLen, probeRate, sc.Reps)
+			if err != nil {
+				return nil, err
+			}
+			means := stats.RunningMeans(ts.DelaysByIndex())
+			// Steady state: mean over the last quarter of indices.
+			tailFrom := len(means) * 3 / 4
+			steady := stats.Mean(means[tailFrom:])
+			lens := make([]int, len(p.Tolerances))
+			for ti, tol := range p.Tolerances {
+				lens[ti] = stats.TransientLength(means[:tailFrom], steady, tol)
+			}
+			return lens, nil
+		},
+		Reduce: func(byLoad [][]int) (*Figure, error) {
+			series := make([]Series, len(p.Tolerances))
+			for ti, tol := range p.Tolerances {
+				series[ti] = Series{Name: fmt.Sprintf("tolerance %g", tol)}
+			}
+			for li, lens := range byLoad {
+				for ti := range p.Tolerances {
+					series[ti].X = append(series[ti].X, p.CrossLoads[li])
+					series[ti].Y = append(series[ti].Y, float64(lens[ti]))
+				}
+			}
+			return &Figure{
+				ID:     "fig10",
+				Title:  "Estimated transient duration vs offered cross-traffic load (probe load 1 Erlang)",
+				XLabel: "cross load (Erlang)",
+				YLabel: "transient length (packets)",
+				Series: series,
+			}, nil
+		},
+	}, sc)
 }

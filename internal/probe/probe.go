@@ -18,6 +18,7 @@ import (
 
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
+	"csmabw/internal/runner"
 	"csmabw/internal/sim"
 	"csmabw/internal/traffic"
 )
@@ -66,6 +67,11 @@ type Link struct {
 	// Seed drives all randomness. Replication r uses an independent
 	// derived stream.
 	Seed int64
+	// Workers bounds the goroutines replicating train measurements;
+	// 0 or negative means GOMAXPROCS. Because every replication's
+	// randomness is derived purely from (Seed, replication index), the
+	// aggregated statistics are identical at any worker count.
+	Workers int
 }
 
 // WithDefaults returns a copy of the link with zero fields replaced by
@@ -149,53 +155,89 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 
 // MeasureTrain sends reps independent replications of an n-packet train
 // with input gap corresponding to rateBps and collects the dispersion
-// and per-index access delays.
+// and per-index access delays. Replications run on a worker pool of
+// l.Workers goroutines (GOMAXPROCS when zero); each replication's
+// randomness is derived purely from (l.Seed, replication index), so the
+// result is identical at any worker count.
 func MeasureTrain(l Link, n int, rateBps float64, reps int) (*TrainStats, error) {
-	l = l.WithDefaults()
-	if n < 1 {
-		return nil, fmt.Errorf("probe: train length %d", n)
+	l, gI, err := l.trainSetup(n, rateBps)
+	if err != nil {
+		return nil, err
 	}
 	if reps < 1 {
 		return nil, fmt.Errorf("probe: %d replications", reps)
+	}
+	samples, err := runner.Map(reps, l.Workers, func(rep int) (TrainSample, error) {
+		return l.measureTrainOnce(n, gI, int64(rep))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TrainStats{N: n, GI: gI, L: l.ProbeSize, Reps: reps, Samples: samples}, nil
+}
+
+// trainSetup is the shared preparation of a train measurement: defaults
+// resolved, train length validated, and the input gap derived from the
+// probing rate.
+func (l Link) trainSetup(n int, rateBps float64) (Link, sim.Time, error) {
+	l = l.WithDefaults()
+	if n < 1 {
+		return l, 0, fmt.Errorf("probe: train length %d", n)
 	}
 	var gI sim.Time
 	if rateBps > 0 {
 		gI = sim.FromSeconds(float64(l.ProbeSize*8) / rateBps)
 	}
-	ts := &TrainStats{N: n, GI: gI, L: l.ProbeSize, Reps: reps}
-	for rep := 0; rep < reps; rep++ {
-		cfg, end := l.scenario(n, gI, int64(rep))
-		sample := TrainSample{
-			Departures:   make([]sim.Time, n),
-			AccessDelays: make([]float64, n),
-		}
-		for i := range sample.Departures {
-			sample.Departures[i] = -1
-			sample.AccessDelays[i] = -1
-		}
-		if len(l.Contenders) > 0 {
-			sample.QueueAtDepart = make([]float64, 0, n)
-			cfg.OnDepart = func(e *mac.Engine, f *mac.Frame) {
-				if f.Probe {
-					sample.QueueAtDepart = append(sample.QueueAtDepart, float64(e.QueueLen(1)))
-				}
-			}
-		}
-		cfg.Horizon = end
-		res, err := mac.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, f := range res.ProbeFrames(0) {
-			if f.Index >= 0 && f.Index < n {
-				sample.Departures[f.Index] = f.Departed
-				sample.AccessDelays[f.Index] = f.AccessDelay().Seconds()
-			}
-		}
-		sample.GO = outputGap(sample.Departures)
-		ts.Samples = append(ts.Samples, sample)
+	return l, gI, nil
+}
+
+// MeasureTrainOne runs a single replication, rep, of the n-packet train
+// measurement. It is the unit of work experiment drivers hand to the
+// replication engine when they own the worker pool themselves: running
+// MeasureTrainOne for rep = 0..reps-1 (in any order, on any workers)
+// and collecting the samples by index is exactly MeasureTrain.
+func MeasureTrainOne(l Link, n int, rateBps float64, rep int) (TrainSample, error) {
+	l, gI, err := l.trainSetup(n, rateBps)
+	if err != nil {
+		return TrainSample{}, err
 	}
-	return ts, nil
+	return l.measureTrainOnce(n, gI, int64(rep))
+}
+
+// measureTrainOnce runs replication rep of the n-packet train. It is a
+// pure function of (l, n, gI, rep) — the determinism unit the worker
+// pool relies on.
+func (l Link) measureTrainOnce(n int, gI sim.Time, rep int64) (TrainSample, error) {
+	cfg, end := l.scenario(n, gI, rep)
+	sample := TrainSample{
+		Departures:   make([]sim.Time, n),
+		AccessDelays: make([]float64, n),
+	}
+	for i := range sample.Departures {
+		sample.Departures[i] = -1
+		sample.AccessDelays[i] = -1
+	}
+	if len(l.Contenders) > 0 {
+		sample.QueueAtDepart = make([]float64, 0, n)
+		cfg.OnDepart = func(e *mac.Engine, f *mac.Frame) {
+			if f.Probe {
+				sample.QueueAtDepart = append(sample.QueueAtDepart, float64(e.QueueLen(1)))
+			}
+		}
+	}
+	cfg.Horizon = end
+	res, err := mac.Run(cfg)
+	if err != nil {
+		return TrainSample{}, err
+	}
+	for _, f := range res.ProbeFrames(0) {
+		if f.Index >= 0 && f.Index < n {
+			sample.Departures[f.Index] = f.Departed
+			sample.AccessDelays[f.Index] = f.AccessDelay().Seconds()
+		}
+	}
+	sample.GO = outputGap(sample.Departures)
+	return sample, nil
 }
 
 // outputGap computes (d_last - d_first)/(count-1) over delivered probes.

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(37, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEachUnitOnce(t *testing.T) {
+	var counts [64]atomic.Int32
+	_, err := Map(len(counts), 8, func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("unit %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(100, 4, func(i int) (int, error) {
+		if i == 13 {
+			return 0, fmt.Errorf("unit 13: %w", sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unit 13") {
+		t.Errorf("error lost unit context: %v", err)
+	}
+}
+
+func TestMapErrorLowestIndexWins(t *testing.T) {
+	// Serial execution hits unit 2 first; the reported index must be 2
+	// even though later units would also fail.
+	_, err := Map(10, 1, func(i int) (int, error) {
+		if i >= 2 {
+			return 0, errors.New("fail")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "unit 2") {
+		t.Fatalf("want failure at unit 2, got %v", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) {
+		t.Error("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit count not honoured")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("auto worker count must be at least 1")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(10, 4, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	if err := ForEach(3, 2, func(i int) error { return errors.New("x") }); err == nil {
+		t.Error("error swallowed")
+	}
+}

@@ -49,6 +49,54 @@ func (r *Rand) Split(label uint64) *Rand {
 	return n
 }
 
+// Stream is a position in a deterministic tree of RNG substreams. It is
+// a pure value: deriving Child(i) never mutates the parent and never
+// depends on how many children were derived before, so replication i of
+// an experiment obtains exactly the same stream whether replications run
+// serially, out of order, or concurrently on any number of workers.
+//
+// This is the property Rand.Split lacks — Split consumes generator
+// state, so the stream a label receives depends on call order. New code
+// that fans replications out across goroutines must derive per-unit
+// randomness through Stream.
+type Stream struct {
+	key uint64
+}
+
+// NewStream returns the root of a substream tree for the given seed.
+func NewStream(seed int64) Stream {
+	x := uint64(seed)
+	return Stream{key: splitmix64(&x)}
+}
+
+// Child derives the i-th substream. The child key is the (i+1)-th output
+// of a SplitMix64 sequence whose state starts at the parent key, so
+// adjacent indices yield fully decorrelated keys and the derivation is a
+// pure function of (parent, i).
+func (s Stream) Child(i uint64) Stream {
+	x := s.key + i*0x9e3779b97f4a7c15
+	return Stream{key: splitmix64(&x)}
+}
+
+// Rand materialises a generator at this stream position. Every call
+// returns an identical, independent copy.
+func (s Stream) Rand() *Rand {
+	x := s.key
+	r := &Rand{}
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+	return r
+}
+
+// Seed collapses the stream position to an int64, for APIs (for example
+// mac.Config.Seed) that take a scalar seed.
+func (s Stream) Seed() int64 {
+	return int64(s.key)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	x, y := r.s0, r.s1

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(42).Child(7)
+	b := NewStream(42).Child(7)
+	ra, rb := a.Rand(), b.Rand()
+	for i := 0; i < 100; i++ {
+		if ra.Uint64() != rb.Uint64() {
+			t.Fatalf("same path, different stream at draw %d", i)
+		}
+	}
+	if NewStream(42).Child(7).Seed() != a.Seed() {
+		t.Error("Seed not a pure function of the path")
+	}
+}
+
+func TestStreamOrderIndependent(t *testing.T) {
+	// Child(i) must not depend on which children were derived before, on
+	// how many values the parent's Rand produced, or on derivation order.
+	root := NewStream(9)
+	want := root.Child(5).Seed()
+
+	root2 := NewStream(9)
+	root2.Child(0)
+	root2.Child(3)
+	root2.Rand().Uint64()
+	if root2.Child(5).Seed() != want {
+		t.Error("Child(5) depends on prior derivations")
+	}
+
+	// Descending vs ascending derivation order.
+	var asc, desc [8]int64
+	for i := 0; i < 8; i++ {
+		asc[i] = root.Child(uint64(i)).Seed()
+	}
+	for i := 7; i >= 0; i-- {
+		desc[i] = root.Child(uint64(i)).Seed()
+	}
+	if asc != desc {
+		t.Error("derivation order changes child streams")
+	}
+}
+
+func TestStreamChildrenDistinct(t *testing.T) {
+	root := NewStream(1)
+	seen := map[int64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		k := root.Child(i).Seed()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("Child(%d) and Child(%d) collide", j, i)
+		}
+		seen[k] = i
+	}
+	// Distinct parents yield distinct children too.
+	if NewStream(1).Child(0).Seed() == NewStream(2).Child(0).Seed() {
+		t.Error("different seeds, same child stream")
+	}
+}
+
+// TestStreamCrossCorrelation is the basic independence sanity check:
+// adjacent child streams (the ones handed to adjacent replications)
+// must not be linearly correlated.
+func TestStreamCrossCorrelation(t *testing.T) {
+	const n = 4096
+	root := NewStream(2026)
+	for _, pair := range [][2]uint64{{0, 1}, {1, 2}, {0, 63}} {
+		ra := root.Child(pair[0]).Rand()
+		rb := root.Child(pair[1]).Rand()
+		var sa, sb, saa, sbb, sab float64
+		for i := 0; i < n; i++ {
+			x, y := ra.Float64(), rb.Float64()
+			sa += x
+			sb += y
+			saa += x * x
+			sbb += y * y
+			sab += x * y
+		}
+		num := sab/n - (sa/n)*(sb/n)
+		den := math.Sqrt((saa/n - (sa/n)*(sa/n)) * (sbb/n - (sb/n)*(sb/n)))
+		if den == 0 {
+			t.Fatalf("degenerate stream for pair %v", pair)
+		}
+		if r := num / den; math.Abs(r) > 0.05 {
+			t.Errorf("children %d and %d correlate: r=%.4f", pair[0], pair[1], r)
+		}
+	}
+}
+
+// TestStreamUniform guards against a broken mix: child streams must
+// still produce roughly uniform draws.
+func TestStreamUniform(t *testing.T) {
+	r := NewStream(7).Child(3).Rand()
+	const n = 8192
+	var sum float64
+	buckets := [8]int{}
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		buckets[int(v*8)]++
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean %.4f far from 0.5", mean)
+	}
+	for b, c := range buckets {
+		if c < n/8-n/16 || c > n/8+n/16 {
+			t.Errorf("bucket %d count %d far from %d", b, c, n/8)
+		}
+	}
+}
