@@ -250,6 +250,43 @@ func BenchmarkFig17MSER(b *testing.B) {
 	b.ReportMetric(corrErr/n, "mser_mean_abs_err_Mbps")
 }
 
+func BenchmarkFERRateResponse(b *testing.B) {
+	fig := runFigure(b, "fer-rrc")
+	// Headline: loss cost at the plateau — clean-channel peak minus the
+	// 5% FER peak.
+	b.ReportMetric(maxY(fig.Series[0])-maxY(fig.Series[len(fig.Series)-1]), "fer5_plateau_loss_Mbps")
+}
+
+func BenchmarkFERTransient(b *testing.B) {
+	fig := runFigure(b, "fer-transient")
+	clean, lossy := fig.Series[0], fig.Series[len(fig.Series)-1]
+	// Headline: how much 5% FER raises the steady mean access delay,
+	// averaged over the last quarter of the packet indices to damp
+	// per-index noise at bench scale.
+	tail := func(s experiments.Series) float64 {
+		n := len(s.Y) / 4
+		if n == 0 {
+			n = 1
+		}
+		sum := 0.0
+		for _, y := range s.Y[len(s.Y)-n:] {
+			sum += y
+		}
+		return sum / float64(n)
+	}
+	b.ReportMetric(tail(lossy)-tail(clean), "fer5_delay_penalty_ms")
+}
+
+func BenchmarkHiddenTerminal(b *testing.B) {
+	fig := runFigure(b, "hidden")
+	mesh, hidden, rts := fig.Series[0], fig.Series[1], fig.Series[2]
+	last := len(mesh.Y) - 1
+	// Headlines: the hidden-terminal collapse at the top of the sweep
+	// and the share RTS/CTS recovers.
+	b.ReportMetric(mesh.Y[last]-hidden.Y[last], "hidden_collapse_Mbps")
+	b.ReportMetric(rts.Y[last]-hidden.Y[last], "rts_recovery_Mbps")
+}
+
 // BenchmarkRunnerScaling sweeps the replication engine's worker count
 // on a paper-style transient run (Fig. 6 scenario). On a 4+-core
 // machine the workers=4 case should complete the same work ≥3× faster

@@ -24,77 +24,123 @@ import (
 	"os"
 	"time"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/core"
 	"csmabw/internal/netprobe"
 )
 
-func main() {
-	recv := flag.Bool("recv", false, "run as receiver")
-	listen := flag.String("listen", ":9900", "receiver listen address")
-	send := flag.String("send", "", "sender: destination host:port")
-	n := flag.Int("n", 50, "packets per train")
-	rate := flag.Float64("rate-mbps", 5, "probing rate (Mb/s); 0 = back to back")
-	size := flag.Int("size", 1500, "datagram size (bytes)")
-	session := flag.Uint("session", 1, "session id")
-	trains := flag.Int("trains", 1, "number of trains to send/receive")
-	gapMs := flag.Float64("train-gap-ms", 200, "pause between trains (sender)")
-	timeout := flag.Duration("timeout", 10*time.Second, "receiver timeout per train")
-	mser := flag.Int("mser", 2, "MSER batch size for the corrected estimate (0 = off)")
-	flag.Parse()
+// bwprobeConfig is the tool configuration resolved from the command
+// line: exactly one of recv/send selects the mode.
+type bwprobeConfig struct {
+	recv     bool
+	listen   string
+	send     string
+	n        int
+	rateMbps float64
+	size     int
+	session  uint32
+	trains   int
+	gapMs    float64
+	timeout  time.Duration
+	mser     int
+}
 
+// parseArgs resolves and validates the command line.
+func parseArgs(args []string) (*bwprobeConfig, error) {
+	fs := flag.NewFlagSet("bwprobe", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	c := &bwprobeConfig{}
+	var session uint
+	fs.BoolVar(&c.recv, "recv", false, "run as receiver")
+	fs.StringVar(&c.listen, "listen", ":9900", "receiver listen address")
+	fs.StringVar(&c.send, "send", "", "sender: destination host:port")
+	fs.IntVar(&c.n, "n", 50, "packets per train")
+	fs.Float64Var(&c.rateMbps, "rate-mbps", 5, "probing rate (Mb/s); 0 = back to back")
+	fs.IntVar(&c.size, "size", 1500, "datagram size (bytes)")
+	fs.UintVar(&session, "session", 1, "session id")
+	fs.IntVar(&c.trains, "trains", 1, "number of trains to send/receive")
+	fs.Float64Var(&c.gapMs, "train-gap-ms", 200, "pause between trains (sender)")
+	fs.DurationVar(&c.timeout, "timeout", 10*time.Second, "receiver timeout per train")
+	fs.IntVar(&c.mser, "mser", 2, "MSER batch size for the corrected estimate (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return nil, clikit.ParseError(err)
+	}
+	c.session = uint32(session)
 	switch {
-	case *recv:
-		runReceiver(*listen, uint32(*session), *trains, *timeout, *mser)
-	case *send != "":
-		runSender(*send, *n, *rate, *size, uint32(*session), *trains, *gapMs)
-	default:
-		fmt.Fprintln(os.Stderr, "need -recv or -send HOST:PORT")
-		os.Exit(2)
+	case c.recv && c.send != "":
+		return nil, fmt.Errorf("-recv and -send are mutually exclusive")
+	case !c.recv && c.send == "":
+		return nil, fmt.Errorf("need -recv or -send HOST:PORT")
+	}
+	if !c.recv {
+		// Sender-only knobs; the receiver ignores them, so a shared
+		// flag set stays usable on both endpoints.
+		if c.n < 2 {
+			return nil, fmt.Errorf("-n %d: trains need at least 2 packets", c.n)
+		}
+		if c.size < netprobe.HeaderLen {
+			return nil, fmt.Errorf("-size %d below the %d-byte probe header", c.size, netprobe.HeaderLen)
+		}
+		if c.rateMbps < 0 || c.gapMs < 0 {
+			return nil, fmt.Errorf("-rate-mbps and -train-gap-ms must be non-negative")
+		}
+	}
+	if c.trains < 1 {
+		return nil, fmt.Errorf("-trains %d: need at least 1", c.trains)
+	}
+	if c.mser < 0 {
+		return nil, fmt.Errorf("-mser %d: need >= 0", c.mser)
+	}
+	return c, nil
+}
+
+// inputGap converts the probing rate into the inter-send gap.
+func (c *bwprobeConfig) inputGap() time.Duration {
+	if c.rateMbps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(c.size*8) / (c.rateMbps * 1e6) * float64(time.Second))
+}
+
+func main() {
+	c, err := parseArgs(os.Args[1:])
+	clikit.ExitArgs(err)
+	if c.recv {
+		runReceiver(c)
+	} else {
+		runSender(c)
 	}
 }
 
-func runSender(dst string, n int, rateMbps float64, size int, session uint32, trains int, gapMs float64) {
-	conn, err := net.Dial("udp", dst)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func runSender(c *bwprobeConfig) {
+	conn, err := net.Dial("udp", c.send)
+	clikit.Check(err)
 	defer conn.Close()
 	s := netprobe.NewSender(conn)
-	var gap time.Duration
-	if rateMbps > 0 {
-		gap = time.Duration(float64(size*8) / (rateMbps * 1e6) * float64(time.Second))
-	}
-	for t := 0; t < trains; t++ {
-		spec := netprobe.TrainSpec{N: n, Gap: gap, Size: size, Session: session + uint32(t)}
+	gap := c.inputGap()
+	for t := 0; t < c.trains; t++ {
+		spec := netprobe.TrainSpec{N: c.n, Gap: gap, Size: c.size, Session: c.session + uint32(t)}
 		stamps, err := s.SendTrain(spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		clikit.Check(err)
 		elapsed := stamps[len(stamps)-1].Sub(stamps[0])
 		fmt.Printf("train %d: sent %d x %dB, gI=%v, span=%v\n",
-			t+1, len(stamps), size, gap, elapsed)
-		if t+1 < trains {
-			time.Sleep(time.Duration(gapMs * float64(time.Millisecond)))
+			t+1, len(stamps), c.size, gap, elapsed)
+		if t+1 < c.trains {
+			time.Sleep(time.Duration(c.gapMs * float64(time.Millisecond)))
 		}
 	}
 }
 
-func runReceiver(listen string, session uint32, trains int, timeout time.Duration, mser int) {
-	pc, err := net.ListenPacket("udp", listen)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func runReceiver(c *bwprobeConfig) {
+	pc, err := net.ListenPacket("udp", c.listen)
+	clikit.Check(err)
 	defer pc.Close()
 	r := netprobe.NewReceiver(pc)
 	fmt.Printf("listening on %s\n", pc.LocalAddr())
-	for t := 0; t < trains; t++ {
-		rep, err := r.ReceiveTrain(session+uint32(t), time.Now().Add(timeout))
+	for t := 0; t < c.trains; t++ {
+		rep, err := r.ReceiveTrain(c.session+uint32(t), time.Now().Add(c.timeout))
 		if err != nil && err != netprobe.ErrTimeout {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			clikit.Check(err)
 		}
 		status := "complete"
 		if err == netprobe.ErrTimeout {
@@ -102,7 +148,7 @@ func runReceiver(listen string, session uint32, trains int, timeout time.Duratio
 		}
 		fmt.Printf("train %d (%s): %d/%d packets, gO=%v, rate=%.3f Mb/s\n",
 			t+1, status, rep.Received, rep.Expected, rep.OutputGap, rep.RateBps/1e6)
-		if mser > 0 && rep.Received >= 4 {
+		if c.mser > 0 && rep.Received >= 4 {
 			var deps []float64
 			for _, at := range rep.Arrivals {
 				if !at.IsZero() {
@@ -110,8 +156,8 @@ func runReceiver(listen string, session uint32, trains int, timeout time.Duratio
 				}
 			}
 			gaps := core.Gaps(deps)
-			corrected := core.CorrectedRate(payloadOf(rep), gaps, mser)
-			fmt.Printf("          MSER-%d corrected rate=%.3f Mb/s\n", mser, corrected/1e6)
+			corrected := core.CorrectedRate(payloadOf(rep), gaps, c.mser)
+			fmt.Printf("          MSER-%d corrected rate=%.3f Mb/s\n", c.mser, corrected/1e6)
 		}
 	}
 }

@@ -11,10 +11,17 @@
 //	       -station cbr:2:576 \
 //	       -station poisson:0.5:40
 //
-// Each spec is kind:rateMbps:sizeBytes with kind "poisson" or "cbr".
+// Each spec is kind:rateMbps:sizeBytes[:powerDB] with kind "poisson"
+// or "cbr"; the optional fourth field is the station's received power
+// at the common receiver in relative dB, consumed by the -capture rule
+// (default 0 — equal powers, so no frame can capture).
 //
 // Flags -phy (b11|b11short|g54), -rts (RTS/CTS threshold in bytes) and
-// -seed complete the scenario. With -reps N the scenario is replicated
+// -seed complete the scenario. The channel is configurable: -fer/-ber
+// apply a frame/bit error model, -topology mesh|hidden|chain selects
+// the station hearing graph (hidden terminals collide at the receiver
+// without ever sensing each other), and -capture sets the receiver
+// capture threshold in dB. With -reps N the scenario is replicated
 // N times on -workers goroutines — each replication drawing its traffic
 // from an independent RNG substream — and the table reports per-station
 // means across replications.
@@ -45,26 +52,33 @@ func (s *stationSpecs) Set(v string) error {
 	return nil
 }
 
-func parseStation(spec string, r *sim.Rand, end sim.Time) ([]traffic.Arrival, error) {
+func parseStation(spec string, r *sim.Rand, end sim.Time) ([]traffic.Arrival, float64, error) {
 	parts := strings.Split(spec, ":")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("station spec %q: want kind:rateMbps:size", spec)
+	if len(parts) != 3 && len(parts) != 4 {
+		return nil, 0, fmt.Errorf("station spec %q: want kind:rateMbps:size[:powerDB]", spec)
 	}
 	rate, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil || rate <= 0 {
-		return nil, fmt.Errorf("station spec %q: bad rate", spec)
+		return nil, 0, fmt.Errorf("station spec %q: bad rate", spec)
 	}
 	size, err := strconv.Atoi(parts[2])
 	if err != nil || size <= 0 {
-		return nil, fmt.Errorf("station spec %q: bad size", spec)
+		return nil, 0, fmt.Errorf("station spec %q: bad size", spec)
+	}
+	var power float64
+	if len(parts) == 4 {
+		power, err = strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("station spec %q: bad power", spec)
+		}
 	}
 	switch parts[0] {
 	case "poisson":
-		return traffic.Poisson(r, rate*1e6, size, 0, end), nil
+		return traffic.Poisson(r, rate*1e6, size, 0, end), power, nil
 	case "cbr":
-		return traffic.CBR(rate*1e6, size, 0, end), nil
+		return traffic.CBR(rate*1e6, size, 0, end), power, nil
 	}
-	return nil, fmt.Errorf("station spec %q: unknown kind %q", spec, parts[0])
+	return nil, 0, fmt.Errorf("station spec %q: unknown kind %q", spec, parts[0])
 }
 
 func phyFor(name string) (phy.Params, error) {
@@ -85,6 +99,7 @@ type stationResult struct {
 	delivered  float64
 	attempts   float64
 	collisions float64
+	phyErrors  float64
 	dropped    float64
 	meanAccMs  float64
 	p95AccMs   float64
@@ -100,6 +115,7 @@ func main() {
 	reps := flag.Int("reps", 1, "independent replications of the scenario")
 	workers := flag.Int("workers", 0, "worker goroutines for replications (0 = all cores)")
 	tracePath := flag.String("trace", "", "write a binary channel-event trace to this file (replication 0)")
+	chFlags := clikit.RegisterChannel(flag.CommandLine)
 	flag.Parse()
 
 	if len(specs) == 0 {
@@ -109,6 +125,10 @@ func main() {
 		clikit.Exitf(2, "-reps must be at least 1")
 	}
 	p, err := phyFor(*phyName)
+	if err != nil {
+		clikit.Exitf(2, "%v", err)
+	}
+	channel, err := chFlags.Channel(len(specs))
 	if err != nil {
 		clikit.Exitf(2, "%v", err)
 	}
@@ -131,13 +151,13 @@ func main() {
 	}
 	runOne := func(rep int) ([]stationResult, error) {
 		stream := root.Child(uint64(rep))
-		cfg := mac.Config{Phy: p, Seed: stream.Child(0).Seed(), Horizon: end, RTSThreshold: *rts}
+		cfg := mac.Config{Phy: p, Seed: stream.Child(0).Seed(), Horizon: end, RTSThreshold: *rts, Channel: channel}
 		for i, spec := range specs {
-			arr, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
+			arr, power, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
 			if err != nil {
 				return nil, err
 			}
-			cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: names[i], Arrivals: arr})
+			cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: names[i], Arrivals: arr, PowerDB: power})
 		}
 		if rep == 0 && tw != nil {
 			hook, _ := tw.Hook()
@@ -164,6 +184,7 @@ func main() {
 				delivered:  float64(st.Delivered),
 				attempts:   float64(st.Attempts),
 				collisions: float64(st.Collisions),
+				phyErrors:  float64(st.ChannelErrors),
 				dropped:    float64(st.Dropped),
 				meanAccMs:  mean,
 				p95AccMs:   p95,
@@ -182,8 +203,8 @@ func main() {
 
 	fmt.Printf("PHY %s, %d stations, %.1fs simulated, %d replication(s) (RTS threshold %d)\n\n",
 		p.Name, len(specs), *duration, *reps, *rts)
-	fmt.Printf("%-26s %10s %9s %9s %7s %7s %10s %10s\n",
-		"station", "thru(Mb/s)", "delivered", "attempts", "coll", "drops",
+	fmt.Printf("%-26s %10s %9s %9s %7s %7s %7s %10s %10s\n",
+		"station", "thru(Mb/s)", "delivered", "attempts", "coll", "phyerr", "drops",
 		"mean acc(ms)", "p95 acc(ms)")
 	var agg float64
 	n := float64(len(byRep))
@@ -194,14 +215,15 @@ func main() {
 			m.delivered += rep[i].delivered
 			m.attempts += rep[i].attempts
 			m.collisions += rep[i].collisions
+			m.phyErrors += rep[i].phyErrors
 			m.dropped += rep[i].dropped
 			m.meanAccMs += rep[i].meanAccMs
 			m.p95AccMs += rep[i].p95AccMs
 		}
 		agg += m.thrMbps / n
-		fmt.Printf("%-26s %10.3f %9.1f %9.1f %7.1f %7.1f %10.3f %10.3f\n",
+		fmt.Printf("%-26s %10.3f %9.1f %9.1f %7.1f %7.1f %7.1f %10.3f %10.3f\n",
 			names[i], m.thrMbps/n, m.delivered/n, m.attempts/n,
-			m.collisions/n, m.dropped/n, m.meanAccMs/n, m.p95AccMs/n)
+			m.collisions/n, m.phyErrors/n, m.dropped/n, m.meanAccMs/n, m.p95AccMs/n)
 	}
 	fmt.Printf("\naggregate: %.3f Mb/s (single-station envelope %.3f Mb/s)\n",
 		agg, p.MaxThroughput(1500)/1e6)

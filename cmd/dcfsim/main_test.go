@@ -11,7 +11,7 @@ func TestParseStation(t *testing.T) {
 	r := sim.NewRand(1)
 	end := sim.Second
 
-	arr, err := parseStation("cbr:2:1500", r, end)
+	arr, _, err := parseStation("cbr:2:1500", r, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,12 +21,22 @@ func TestParseStation(t *testing.T) {
 		t.Errorf("cbr packets = %d, want 167", len(arr))
 	}
 
-	arr, err = parseStation("poisson:4:576", r, end)
+	arr, power, err := parseStation("poisson:4:576", r, end)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(arr) == 0 {
 		t.Error("poisson produced nothing")
+	}
+	if power != 0 {
+		t.Errorf("default power = %g, want 0", power)
+	}
+	_, power, err = parseStation("poisson:4:576:7.5", r, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if power != 7.5 {
+		t.Errorf("power = %g, want 7.5", power)
 	}
 	for _, a := range arr {
 		if a.Size != 576 {
@@ -42,6 +52,8 @@ func TestParseStationErrors(t *testing.T) {
 		frag string
 	}{
 		{"cbr:2", "kind:rateMbps:size"},
+		{"cbr:2:1500:x", "bad power"},
+		{"cbr:2:1500:3:9", "kind:rateMbps:size"},
 		{"cbr:x:1500", "bad rate"},
 		{"cbr:0:1500", "bad rate"},
 		{"cbr:2:zero", "bad size"},
@@ -49,7 +61,7 @@ func TestParseStationErrors(t *testing.T) {
 		{"warp:2:1500", "unknown kind"},
 	}
 	for _, tt := range bad {
-		_, err := parseStation(tt.spec, r, sim.Second)
+		_, _, err := parseStation(tt.spec, r, sim.Second)
 		if err == nil {
 			t.Errorf("%q accepted", tt.spec)
 			continue

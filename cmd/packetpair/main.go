@@ -5,44 +5,77 @@
 //
 // Usage:
 //
-//	packetpair [-reps N] [-max MBPS] [-step MBPS]
+//	packetpair [-max MBPS] [-step MBPS]
+//	           [-scale tiny|default|paper] [-reps N] [-seconds S]
+//	           [-seed N] [-workers N] [-format table|csv|json]
+//
+// The cross-traffic sweep resolution comes from -max/-step; -points is
+// accepted (shared harness) but has no effect here.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
 )
 
-func main() {
-	reps := flag.Int("reps", 200, "packet pairs per cross-traffic level")
-	maxCross := flag.Float64("max", 10, "maximum cross-traffic rate (Mb/s)")
-	step := flag.Float64("step", 1, "cross-traffic sweep step (Mb/s)")
-	seconds := flag.Float64("seconds", 2, "steady-state duration per point")
-	seed := flag.Int64("seed", 16, "random seed")
-	flag.Parse()
+// ppConfig is the tool configuration resolved from the command line.
+type ppConfig struct {
+	common    *clikit.Flags
+	sc        experiments.Scale
+	max, step float64 // Mb/s
+}
 
-	if *step <= 0 || *maxCross < 0 {
-		fmt.Fprintln(os.Stderr, "need -step > 0 and -max >= 0")
-		os.Exit(2)
+// parseArgs resolves the command line into a validated configuration.
+func parseArgs(args []string) (*ppConfig, error) {
+	fs := flag.NewFlagSet("packetpair", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	maxCross := fs.Float64("max", 10, "maximum cross-traffic rate (Mb/s)")
+	step := fs.Float64("step", 1, "cross-traffic sweep step (Mb/s)")
+	common := clikit.Register(fs, clikit.Defaults{Seed: 16, Reps: 200, Seconds: 2})
+	if err := fs.Parse(args); err != nil {
+		return nil, clikit.ParseError(err)
 	}
+	sc, err := common.Scale()
+	if err != nil {
+		return nil, err
+	}
+	if *step <= 0 || *maxCross < 0 {
+		return nil, fmt.Errorf("need -step > 0 and -max >= 0, got step=%g max=%g", *step, *maxCross)
+	}
+	return &ppConfig{common: common, sc: sc, max: *maxCross, step: *step}, nil
+}
+
+// crossRates expands the sweep specification into rate points in bit/s.
+func (c *ppConfig) crossRates() []float64 {
 	var rates []float64
-	for r := 0.0; r <= *maxCross*1e6+1; r += *step * 1e6 {
+	for r := 0.0; r <= c.max*1e6+1; r += c.step * 1e6 {
 		rates = append(rates, r)
 	}
+	return rates
+}
+
+// run builds and emits the packet-pair figure.
+func run(cfg *ppConfig, w io.Writer) error {
 	p := experiments.Fig16Params{
-		CrossRates:  rates,
+		CrossRates:  cfg.crossRates(),
 		PacketSize:  1500,
 		SaturateBps: 12e6,
-		Seed:        *seed,
+		Seed:        cfg.common.Seed,
 	}
-	sc := experiments.Scale{Reps: *reps, SweepPoints: 2, SteadySeconds: *seconds}
-	fig, err := experiments.Fig16PacketPair(p, sc)
+	fig, err := experiments.Fig16PacketPair(p, cfg.sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Print(fig.Table())
+	return cfg.common.Emit(w, fig)
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:])
+	clikit.ExitArgs(err)
+	clikit.Check(run(cfg, os.Stdout))
 }

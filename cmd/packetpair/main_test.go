@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"csmabw/internal/clikit"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+		frag string
+		chk  func(*ppConfig) bool
+	}{
+		{name: "defaults", args: nil, ok: true,
+			chk: func(c *ppConfig) bool {
+				return c.max == 10 && c.step == 1 && c.common.Seed == 16 &&
+					c.sc.Reps == 200 && c.sc.SteadySeconds == 2 && c.common.Format == "table"
+			}},
+		{name: "sweep override", args: []string{"-max", "4", "-step", "2"}, ok: true,
+			chk: func(c *ppConfig) bool { return len(c.crossRates()) == 3 }},
+		{name: "tiny scale", args: []string{"-scale", "tiny"}, ok: true,
+			chk: func(c *ppConfig) bool { return c.sc.Reps == 8 }},
+		{name: "reps override", args: []string{"-reps", "50"}, ok: true,
+			chk: func(c *ppConfig) bool { return c.sc.Reps == 50 }},
+		{name: "zero step", args: []string{"-step", "0"}, frag: "-step"},
+		{name: "negative max", args: []string{"-max", "-1"}, frag: "-max"},
+		{name: "bad format", args: []string{"-format", "xml"}, frag: "unknown format"},
+		{name: "unknown flag", args: []string{"-pairs", "3"}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, err := parseArgs(tt.args)
+			if tt.ok {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tt.chk != nil && !tt.chk(cfg) {
+					t.Errorf("config check failed: %+v", cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid args accepted")
+			}
+			if tt.frag != "" && !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("error %q lacks %q", err, tt.frag)
+			}
+		})
+	}
+}
+
+func TestCrossRatesIncludeZeroAndMax(t *testing.T) {
+	cfg, err := parseArgs([]string{"-max", "3", "-step", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := cfg.crossRates()
+	if len(rates) != 4 || rates[0] != 0 || rates[3] != 3e6 {
+		t.Errorf("rates = %v, want [0 1e6 2e6 3e6]", rates)
+	}
+}
+
+func TestRunEmitsFigure(t *testing.T) {
+	cfg, err := parseArgs([]string{"-scale", "tiny", "-max", "1", "-seconds", "0.2", "-format", "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# fig16") || !strings.Contains(out, "packet pair") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+// TestParseArgsHelpAndUsageErrors pins the exit-code contract of the
+// shared harness: -h surfaces flag.ErrHelp (main exits 0) and a flag
+// parse failure surfaces clikit.ErrUsage (main exits 2 without
+// re-printing the already-reported message).
+func TestParseArgsHelpAndUsageErrors(t *testing.T) {
+	if _, err := parseArgs([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if _, err := parseArgs([]string{"-no-such-flag"}); !errors.Is(err, clikit.ErrUsage) {
+		t.Errorf("unknown flag: got %v, want clikit.ErrUsage", err)
+	}
+}

@@ -3,55 +3,106 @@
 //
 // Usage:
 //
-//	rrc [-cross MBPS] [-fifo MBPS] [-max MBPS] [-points N] [-seconds S] [-seed N]
+//	rrc [-cross MBPS] [-fifo MBPS] [-max MBPS] [-fer P]
+//	    [-scale tiny|default|paper] [-points N] [-seconds S]
+//	    [-seed N] [-workers N] [-format table|csv|json]
+//
+// The steady-state sweep takes one long measurement per point, so of
+// the common scale knobs -points and -seconds shape the run; -reps is
+// accepted (shared harness) but has no effect here.
 //
 // With -fifo 0 it reproduces Figure 1 (contending cross-traffic only);
-// with -fifo > 0 it reproduces Figure 4 (the complete picture).
+// with -fifo > 0 it reproduces Figure 4 (the complete picture). A
+// non-zero -fer applies a frame-error model on every uplink, measuring
+// the curve over a lossy channel instead of the paper's perfect one.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
+	"csmabw/internal/phy"
 )
 
-func main() {
-	cross := flag.Float64("cross", 4.5, "contending cross-traffic rate (Mb/s)")
-	fifo := flag.Float64("fifo", 0, "FIFO cross-traffic rate sharing the probe queue (Mb/s)")
-	maxRate := flag.Float64("max", 10, "top of the probing-rate sweep (Mb/s)")
-	points := flag.Int("points", 20, "sweep points")
-	seconds := flag.Float64("seconds", 2, "steady-state measurement duration per point")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+// rrcConfig is the tool configuration resolved from the command line.
+type rrcConfig struct {
+	common           *clikit.Flags
+	sc               experiments.Scale
+	cross, fifo, max float64 // Mb/s
+	loss             phy.ErrorModel
+}
 
-	sc := experiments.Scale{Reps: 1, SweepPoints: *points, SteadySeconds: *seconds}
+// parseArgs resolves the command line into a validated configuration.
+func parseArgs(args []string) (*rrcConfig, error) {
+	fs := flag.NewFlagSet("rrc", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	cross := fs.Float64("cross", 4.5, "contending cross-traffic rate (Mb/s)")
+	fifo := fs.Float64("fifo", 0, "FIFO cross-traffic rate sharing the probe queue (Mb/s)")
+	maxRate := fs.Float64("max", 10, "top of the probing-rate sweep (Mb/s)")
+	fer := fs.Float64("fer", 0, "frame-error rate on every uplink in [0,1)")
+	common := clikit.Register(fs, clikit.Defaults{Seed: 1, Reps: 1, Points: 20, Seconds: 2})
+	if err := fs.Parse(args); err != nil {
+		return nil, clikit.ParseError(err)
+	}
+	sc, err := common.Scale()
+	if err != nil {
+		return nil, err
+	}
+	if *maxRate <= 0 {
+		return nil, fmt.Errorf("need -max > 0, got %g", *maxRate)
+	}
+	loss := phy.ErrorModel{FER: *fer}
+	if err := loss.Validate(); err != nil {
+		return nil, err
+	}
+	return &rrcConfig{
+		common: common,
+		sc:     sc,
+		cross:  *cross,
+		fifo:   *fifo,
+		max:    *maxRate,
+		loss:   loss,
+	}, nil
+}
+
+// run builds and emits the configured figure.
+func run(cfg *rrcConfig, w io.Writer) error {
 	var (
 		fig *experiments.Figure
 		err error
 	)
-	if *fifo > 0 {
+	if cfg.fifo > 0 {
 		p := experiments.Fig4Params{
-			FIFOCrossBps:  *fifo * 1e6,
-			ContendingBps: *cross * 1e6,
+			FIFOCrossBps:  cfg.fifo * 1e6,
+			ContendingBps: cfg.cross * 1e6,
 			PacketSize:    1500,
-			MaxProbeBps:   *maxRate * 1e6,
-			Seed:          *seed,
+			MaxProbeBps:   cfg.max * 1e6,
+			Seed:          cfg.common.Seed,
+			Loss:          cfg.loss,
 		}
-		fig, err = experiments.Fig4CompleteRRC(p, sc)
+		fig, err = experiments.Fig4CompleteRRC(p, cfg.sc)
 	} else {
 		p := experiments.Fig1Params{
-			CrossRateBps: *cross * 1e6,
+			CrossRateBps: cfg.cross * 1e6,
 			PacketSize:   1500,
-			MaxProbeBps:  *maxRate * 1e6,
-			Seed:         *seed,
+			MaxProbeBps:  cfg.max * 1e6,
+			Seed:         cfg.common.Seed,
+			Loss:         cfg.loss,
 		}
-		fig, err = experiments.Fig1SteadyStateRRC(p, sc)
+		fig, err = experiments.Fig1SteadyStateRRC(p, cfg.sc)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Print(fig.Table())
+	return cfg.common.Emit(w, fig)
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:])
+	clikit.ExitArgs(err)
+	clikit.Check(run(cfg, os.Stdout))
 }

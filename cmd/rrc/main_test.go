@@ -1,0 +1,91 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"csmabw/internal/clikit"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+		frag string // substring of the error when !ok
+		chk  func(*rrcConfig) bool
+	}{
+		{name: "defaults", args: nil, ok: true,
+			chk: func(c *rrcConfig) bool {
+				return c.cross == 4.5 && c.fifo == 0 && c.max == 10 &&
+					c.sc.Reps == 1 && c.sc.SweepPoints == 20 && c.sc.SteadySeconds == 2 &&
+					c.common.Seed == 1 && c.common.Format == "table" && c.loss.IsZero()
+			}},
+		{name: "figure 4 shape", args: []string{"-fifo", "1.5", "-cross", "2"}, ok: true,
+			chk: func(c *rrcConfig) bool { return c.fifo == 1.5 && c.cross == 2 }},
+		{name: "lossy channel", args: []string{"-fer", "0.05"}, ok: true,
+			chk: func(c *rrcConfig) bool { return c.loss.FER == 0.05 }},
+		{name: "scale preset with overrides", args: []string{"-scale", "tiny", "-points", "3", "-format", "csv"}, ok: true,
+			chk: func(c *rrcConfig) bool {
+				return c.sc.SweepPoints == 3 && c.sc.SteadySeconds == 0.5 && c.common.Format == "csv"
+			}},
+		{name: "workers", args: []string{"-workers", "4"}, ok: true,
+			chk: func(c *rrcConfig) bool { return c.sc.Workers == 4 }},
+		{name: "bad max", args: []string{"-max", "0"}, frag: "-max"},
+		{name: "bad fer", args: []string{"-fer", "1"}, frag: "FER"},
+		{name: "negative fer", args: []string{"-fer", "-0.1"}, frag: "FER"},
+		{name: "bad scale", args: []string{"-scale", "huge"}, frag: "unknown scale"},
+		{name: "bad format", args: []string{"-format", "yaml"}, frag: "unknown format"},
+		{name: "unknown flag", args: []string{"-warp", "9"}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, err := parseArgs(tt.args)
+			if tt.ok {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tt.chk != nil && !tt.chk(cfg) {
+					t.Errorf("config check failed: %+v (scale %+v)", cfg, cfg.sc)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid args accepted")
+			}
+			if tt.frag != "" && !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("error %q lacks %q", err, tt.frag)
+			}
+		})
+	}
+}
+
+func TestRunEmitsFigure(t *testing.T) {
+	cfg, err := parseArgs([]string{"-scale", "tiny", "-points", "2", "-seconds", "0.2", "-format", "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# fig01") || !strings.Contains(out, "probe ro") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+// TestParseArgsHelpAndUsageErrors pins the exit-code contract of the
+// shared harness: -h surfaces flag.ErrHelp (main exits 0) and a flag
+// parse failure surfaces clikit.ErrUsage (main exits 2 without
+// re-printing the already-reported message).
+func TestParseArgsHelpAndUsageErrors(t *testing.T) {
+	if _, err := parseArgs([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if _, err := parseArgs([]string{"-no-such-flag"}); !errors.Is(err, clikit.ErrUsage) {
+		t.Errorf("unknown flag: got %v, want clikit.ErrUsage", err)
+	}
+}

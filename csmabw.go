@@ -5,7 +5,10 @@
 // (ACM IMC 2009):
 //
 //   - a discrete-event DCF simulator with per-packet access-delay
-//     tracing (the paper's NS2 substitute);
+//     tracing (the paper's NS2 substitute), whose channel ranges from
+//     the paper's perfect single collision domain to lossy links
+//     (FER/BER error models), hidden-terminal topologies, receiver
+//     capture and RTS/CTS (internal/mac, internal/phy);
 //   - dispersion-based probing (trains, packet pairs, long steady-state
 //     flows) over the simulated link;
 //   - the paper's analytical models — steady-state rate response
@@ -34,7 +37,8 @@
 //     short-train, access-delay-transient, transient-duration and
 //     MSER-correction studies individually;
 //   - cmd/dcfsim is the general-purpose DCF scenario front end, with
-//     -reps for replicated runs;
+//     -reps for replicated runs and -fer/-ber/-topology/-capture for
+//     the imperfect-channel scenario space;
 //   - cmd/packetpair, cmd/rrc and cmd/bwprobe cover packet-pair
 //     inference, rate-response fitting and live-network probing.
 //

@@ -8,6 +8,7 @@
 package clikit
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,8 @@ import (
 	"strings"
 
 	"csmabw/internal/experiments"
+	"csmabw/internal/mac"
+	"csmabw/internal/phy"
 )
 
 // Defaults are the per-tool defaults for the common flags.
@@ -109,6 +112,56 @@ func (f *Flags) Scale() (experiments.Scale, error) {
 	return sc, nil
 }
 
+// ChannelFlags holds the imperfect-channel knobs of the simulator
+// front ends: frame loss, the station hearing topology, and receiver
+// capture. The zero value of every flag reproduces the perfect single
+// collision domain.
+type ChannelFlags struct {
+	FER       float64
+	BER       float64
+	Topology  string
+	CaptureDB float64
+}
+
+// RegisterChannel installs the channel flags on fs and returns the
+// destination struct, populated after fs.Parse.
+func RegisterChannel(fs *flag.FlagSet) *ChannelFlags {
+	c := &ChannelFlags{}
+	fs.Float64Var(&c.FER, "fer", 0, "frame-error rate on every data frame in [0,1)")
+	fs.Float64Var(&c.BER, "ber", 0, "bit-error rate in [0,1); compounds with -fer over the frame length")
+	fs.StringVar(&c.Topology, "topology", "mesh", "station hearing graph: mesh, hidden or chain")
+	fs.Float64Var(&c.CaptureDB, "capture", 0, "receiver capture threshold in dB (0 = no capture)")
+	return c
+}
+
+// Channel resolves the flags into the propagation model for a scenario
+// of n stations. "mesh" is the single collision domain, "hidden" makes
+// every station hidden from every other (all still reach the common
+// receiver), and "chain" is a line where station i hears only its
+// neighbours.
+func (c *ChannelFlags) Channel(n int) (mac.Channel, error) {
+	ch := mac.Channel{
+		Loss:               phy.ErrorModel{FER: c.FER, BER: c.BER},
+		CaptureThresholdDB: c.CaptureDB,
+	}
+	switch c.Topology {
+	case "", "mesh":
+	case "hidden":
+		ch.Topology = mac.NewTopology(n)
+	case "chain":
+		ch.Topology = mac.Chain(n)
+	default:
+		return ch, fmt.Errorf("unknown topology %q (mesh|hidden|chain)", c.Topology)
+	}
+	if err := ch.Loss.Validate(); err != nil {
+		return ch, err
+	}
+	if ch.CaptureThresholdDB < 0 {
+		return ch, fmt.Errorf("negative capture threshold %g dB", ch.CaptureThresholdDB)
+	}
+	return ch, nil
+}
+
 // Render renders the figure in the named format.
 func Render(fig *experiments.Figure, format string) (string, error) {
 	switch format {
@@ -136,6 +189,39 @@ func (f *Flags) Emit(w io.Writer, fig *experiments.Figure) error {
 func Exitf(code int, format string, a ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", a...)
 	os.Exit(code)
+}
+
+// ErrUsage marks a command-line parse failure the FlagSet has already
+// reported to its output: main should exit 2 without printing the
+// message a second time.
+var ErrUsage = errors.New("usage error (already reported)")
+
+// ParseError normalizes a FlagSet.Parse result for a tool's parseArgs:
+// nil stays nil, flag.ErrHelp passes through (the user asked for
+// usage), and any other parse error — which the FlagSet already printed
+// together with the usage text — collapses to ErrUsage.
+func ParseError(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return ErrUsage
+}
+
+// ExitArgs terminates the process when a tool's parseArgs failed, per
+// the cmd/ convention: -h/-help exits 0 after the FlagSet printed the
+// usage, an ErrUsage parse failure exits 2 silently (it was already
+// reported), and a validation error exits 2 with its message. A nil
+// error returns.
+func ExitArgs(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, ErrUsage):
+		os.Exit(2)
+	default:
+		Exitf(2, "%v", err)
+	}
 }
 
 // Check exits with status 1 when err is non-nil.

@@ -1,0 +1,73 @@
+package clikit
+
+import (
+	"strings"
+	"testing"
+
+	"csmabw/internal/experiments"
+)
+
+func testFigure() *experiments.Figure {
+	return &experiments.Figure{
+		ID: "fz", Title: "fuzz fixture", XLabel: "x", YLabel: "y",
+		Series: []experiments.Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}
+}
+
+// FuzzParseFloats exercises the comma-separated list parser the cmd/
+// tools feed raw user input into. Invariants: no panic, a successful
+// parse yields exactly one value per comma-separated field, and every
+// accepted field is a parseable float on its own. Corpus seeds live in
+// testdata/fuzz/FuzzParseFloats.
+func FuzzParseFloats(f *testing.F) {
+	for _, seed := range []string{"0.1, 0.5,1", "", ",", "1e9", "-3.5", "NaN", "0x1p-2", "1,,2", " 2 "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := ParseFloats(s)
+		if err != nil {
+			return
+		}
+		if want := strings.Count(s, ",") + 1; len(vals) != want {
+			t.Fatalf("parsed %d values from %d fields in %q", len(vals), want, s)
+		}
+	})
+}
+
+// FuzzParseInts mirrors FuzzParseFloats for the integer list parser.
+func FuzzParseInts(f *testing.F) {
+	for _, seed := range []string{"3, 10,50", "", "-1", "007", "1,2,3,4", "9223372036854775807"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := ParseInts(s)
+		if err != nil {
+			return
+		}
+		if want := strings.Count(s, ",") + 1; len(vals) != want {
+			t.Fatalf("parsed %d values from %d fields in %q", len(vals), want, s)
+		}
+	})
+}
+
+// FuzzRenderFormat drives the format dispatcher with arbitrary format
+// names: only the three documented formats may succeed.
+func FuzzRenderFormat(f *testing.F) {
+	for _, seed := range []string{"table", "csv", "json", "yaml", "", "CSV"} {
+		f.Add(seed)
+	}
+	fig := testFigure()
+	f.Fuzz(func(t *testing.T, format string) {
+		out, err := Render(fig, format)
+		switch format {
+		case "table", "csv", "json":
+			if err != nil || out == "" {
+				t.Fatalf("format %q failed: %v", format, err)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("unknown format %q accepted", format)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden CSVs instead of comparing against
+// them. After an intentional change to a figure driver, run
+//
+//	go test ./internal/experiments -run TestGoldenFigures -update
+//
+// and commit the rewritten files under testdata/golden with the code
+// change that motivated them. The snapshots are taken at the tiny
+// scale, so the whole suite regenerates in about a second.
+var update = flag.Bool("update", false, "rewrite the golden figure CSVs")
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".csv")
+}
+
+// TestGoldenFigures renders every registry figure at the tiny scale and
+// asserts byte-equality with the committed snapshot. The perfect-channel
+// figures' snapshots were generated before the imperfect-channel engine
+// existed, so this test is also the proof that FER=0 full-mesh runs
+// reproduce the pre-refactor simulator exactly.
+func TestGoldenFigures(t *testing.T) {
+	for _, entry := range Registry() {
+		entry := entry
+		t.Run(entry.ID, func(t *testing.T) {
+			fig, err := entry.Run(Tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fig.CSV()
+			path := goldenPath(entry.ID)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the snapshot)", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s differs from its golden snapshot:\n%s\n(run with -update if the change is intentional)",
+					entry.ID, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+// TestGoldenComplete fails when a golden snapshot exists for a figure
+// that left the registry, so stale files cannot linger unnoticed.
+func TestGoldenComplete(t *testing.T) {
+	known := map[string]bool{}
+	for _, entry := range Registry() {
+		known[entry.ID] = true
+	}
+	files, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		id := strings.TrimSuffix(f.Name(), ".csv")
+		if !known[id] {
+			t.Errorf("stale golden snapshot %s: no registry figure %q", f.Name(), id)
+		}
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(g), len(w))
+}

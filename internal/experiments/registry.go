@@ -8,8 +8,9 @@ import "fmt"
 type Driver func(sc Scale) (*Figure, error)
 
 // Registry maps figure IDs to their default-parameter drivers, in the
-// order they appear in the paper. cmd/figures iterates this to
-// regenerate the full evaluation.
+// order they appear in the paper, followed by the imperfect-channel
+// extensions. cmd/figures iterates this to regenerate the full
+// evaluation.
 func Registry() []struct {
 	ID  string
 	Run Driver
@@ -37,6 +38,11 @@ func Registry() []struct {
 		{"fig15", func(sc Scale) (*Figure, error) { return TrainRRC("fig15", DefaultFig15(), sc) }},
 		{"fig16", func(sc Scale) (*Figure, error) { return Fig16PacketPair(DefaultFig16(), sc) }},
 		{"fig17", func(sc Scale) (*Figure, error) { return Fig17MSER(DefaultFig17(), sc) }},
+		// Imperfect-channel extensions beyond the paper's validation
+		// appendix: frame loss and hidden terminals.
+		{"fer-rrc", func(sc Scale) (*Figure, error) { return FERRateResponse(DefaultFERRRC(), sc) }},
+		{"fer-transient", func(sc Scale) (*Figure, error) { return FERTransient(DefaultFERTransient(), sc) }},
+		{"hidden", func(sc Scale) (*Figure, error) { return HiddenTerminal(DefaultHidden(), sc) }},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"csmabw/internal/phy"
 	"csmabw/internal/probe"
 	"csmabw/internal/sim"
 )
@@ -14,6 +15,9 @@ type Fig1Params struct {
 	PacketSize   int
 	MaxProbeBps  float64 // sweep upper end (paper: 10 Mb/s)
 	Seed         int64
+	// Loss applies a frame-error model on every uplink; the zero value
+	// is the paper's perfect channel.
+	Loss phy.ErrorModel
 }
 
 // DefaultFig1 mirrors the paper's Figure 1 operating point:
@@ -42,6 +46,7 @@ func Fig1SteadyStateRRC(p Fig1Params, sc Scale) (*Figure, error) {
 				ProbeSize:  p.PacketSize,
 				Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
 				Seed:       p.Seed + int64(i)*101,
+				Loss:       p.Loss,
 			}
 			ss, err := probe.MeasureSteadyState(l, rates[i], dur)
 			if err != nil {
@@ -78,6 +83,9 @@ type Fig4Params struct {
 	PacketSize    int
 	MaxProbeBps   float64
 	Seed          int64
+	// Loss applies a frame-error model on every uplink; the zero value
+	// is the paper's perfect channel.
+	Loss phy.ErrorModel
 }
 
 // DefaultFig4 uses moderate loads so all three curves are visible, as
@@ -100,6 +108,7 @@ func Fig4CompleteRRC(p Fig4Params, sc Scale) (*Figure, error) {
 				FIFOCross:  []probe.Flow{{RateBps: p.FIFOCrossBps, Size: p.PacketSize}},
 				Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
 				Seed:       p.Seed + int64(i)*101,
+				Loss:       p.Loss,
 			}
 			ss, err := probe.MeasureSteadyState(l, rates[i], dur)
 			if err != nil {

@@ -1,12 +1,25 @@
 // Package mac implements a discrete-event simulator of the IEEE 802.11
-// Distributed Coordination Function (DCF) over a single collision domain.
-// It is the reproduction's substitute for the NS2 2.29 setup the paper
-// uses: infinite FIFO transmission queues, binary exponential backoff,
-// DIFS/EIFS sensing, SIFS+ACK exchanges, post-backoff, immediate channel
-// access, collisions between stations whose backoff expires in the same
-// slot, and a perfect channel (no propagation errors, no capture, no
-// hidden terminals, no RTS/CTS) — exactly the conditions of the paper's
-// validation appendix.
+// Distributed Coordination Function (DCF): infinite FIFO transmission
+// queues, binary exponential backoff, DIFS/EIFS sensing, SIFS+ACK
+// exchanges, post-backoff, immediate channel access, optional RTS/CTS,
+// and collisions between overlapping transmissions at the receiver.
+//
+// The channel is configurable. The zero-value Channel reproduces the
+// paper's validation appendix exactly — a single perfect collision
+// domain (NS2 2.29 conditions: no propagation errors, no capture, no
+// hidden terminals), where the only overlaps are backoffs expiring in
+// the same slot. Beyond that, Config.Channel opens the imperfect-channel
+// scenario space:
+//
+//   - Topology restricts which stations sense each other. Stations
+//     hidden from one another transmit with overlapping airtimes and
+//     collide at the common receiver (the access point implied by the
+//     paper's infrastructure setup, which always hears every station).
+//   - Loss corrupts data frames per the phy.ErrorModel; the transmitter
+//     times out and backs off with a doubled window, and stations whose
+//     own copy was undecodable defer EIFS — the 802.11 recovery rule.
+//   - CaptureThresholdDB lets the receiver decode the strongest of
+//     several overlapping frames when its power margin is large enough.
 //
 // The quantity of interest throughout is the *access delay* of a frame:
 // the time from when it reaches the head of its station's FIFO queue
@@ -14,11 +27,20 @@
 // engine records it for every delivered frame, along with queueing
 // delay, retry counts, and queue-length samples, so the experiment
 // drivers can study both the steady state (Figs. 1, 4) and the transient
-// (Figs. 6-10, 13, 15-17).
+// (Figs. 6-10, 13, 15-17), under perfect and imperfect channels alike.
+//
+// Model simplifications (documented, deliberate): control frames (RTS,
+// CTS, ACK) are never corrupted by the error model — they are short and
+// sent at the robust basic rate; ACKs from the common receiver always
+// reach their transmitter; and in multi-domain topologies the engine
+// resolves one busy cluster of overlapping transmissions at a time, so
+// a station in a disjoint domain resumes contention no earlier than the
+// cluster's end.
 package mac
 
 import (
 	"fmt"
+	"math"
 
 	"csmabw/internal/phy"
 	"csmabw/internal/sim"
@@ -59,12 +81,40 @@ type StationConfig struct {
 	// FIFO cross-traffic sharing one queue are expressed by merging
 	// their schedules into a single station (traffic.Merge).
 	Arrivals []traffic.Arrival
+	// PowerDB is the station's received power at the common receiver in
+	// relative dB, consumed by the capture rule. The default 0 dB for
+	// every station means equal powers, so no frame can capture.
+	PowerDB float64
+	// Loss overrides Channel.Loss for frames this station transmits,
+	// giving each uplink of the star its own error rate.
+	Loss *phy.ErrorModel
+}
+
+// Channel describes the propagation environment between the stations
+// and their common receiver. The zero value is the perfect single
+// collision domain of the original simulator: full-mesh hearing, no
+// frame errors, no capture — byte-identical behaviour, including RNG
+// draw sequences, to the pre-extension engine.
+type Channel struct {
+	// Topology is the station hearing graph; nil means full mesh.
+	Topology *Topology
+	// Loss is the frame-error model applied to every data frame
+	// (per-station overrides live in StationConfig.Loss).
+	Loss phy.ErrorModel
+	// CaptureThresholdDB enables receiver capture: when the strongest
+	// of several overlapping frames exceeds the runner-up by at least
+	// this margin, the receiver decodes it despite the overlap. Zero
+	// disables capture; negative is rejected.
+	CaptureThresholdDB float64
 }
 
 // Config describes a complete single-BSS scenario.
 type Config struct {
 	Phy      phy.Params
 	Stations []StationConfig
+	// Channel selects the propagation model; the zero value is the
+	// perfect single collision domain.
+	Channel Channel
 	// Seed drives every backoff draw. Identical configs and seeds
 	// reproduce identical runs.
 	Seed int64
@@ -108,6 +158,7 @@ const (
 	EvSuccess                        // exchange completed, frame delivered
 	EvCollision                      // two or more stations transmitted together
 	EvDrop                           // retry limit exhausted, frame discarded
+	EvPhyError                       // frame corrupted by the channel error model
 )
 
 // String names the event kind.
@@ -121,6 +172,8 @@ func (k EventKind) String() string {
 		return "collision"
 	case EvDrop:
 		return "drop"
+	case EvPhyError:
+		return "phyerror"
 	}
 	return "unknown"
 }
@@ -143,6 +196,12 @@ type StationStats struct {
 	PayloadBits int64
 	Collisions  int // transmission attempts that collided
 	Attempts    int // total transmission attempts (wins of contention)
+	// ChannelErrors counts attempts whose data frame the error model
+	// corrupted at the receiver (no overlap involved).
+	ChannelErrors int
+	// Captured counts frames delivered through the capture rule despite
+	// overlapping transmissions.
+	Captured int
 }
 
 // Result is everything a run produces.
@@ -201,8 +260,14 @@ type station struct {
 	// a fully idle station starts sensing at its arrival instant, not at
 	// the (possibly long past) moment the medium went idle.
 	senseFrom sim.Time
-	rng       *sim.Rand
-	frameSeq  int64
+	// idleAt is the instant the medium last became idle from this
+	// station's perspective. With a full-mesh topology every station
+	// holds the same value; with hidden terminals the views diverge.
+	idleAt   sim.Time
+	power    float64        // received power at the common receiver, relative dB
+	loss     phy.ErrorModel // resolved error model for this station's uplink
+	rng      *sim.Rand
+	frameSeq int64
 }
 
 func (s *station) queueLen() int { return len(s.queue) - s.head }
@@ -231,8 +296,17 @@ type Engine struct {
 	phy      phy.Params
 	stations []*station
 	now      sim.Time
-	idleAt   sim.Time // instant the medium last became idle
 	res      *Result
+
+	topo      *Topology // nil means full mesh
+	multi     bool      // topology has hidden stations
+	lossy     bool      // some link has a non-zero error model
+	captureOn bool      // capture threshold configured
+	// chrng drives channel randomness (frame-error trials). It is a
+	// separate stream from the stations' backoff generators, and it is
+	// never advanced on a perfect channel, so perfect-channel runs make
+	// exactly the pre-extension draw sequence.
+	chrng *sim.Rand
 }
 
 // New validates the configuration and prepares an engine.
@@ -243,11 +317,35 @@ func New(cfg Config) (*Engine, error) {
 	if len(cfg.Stations) == 0 {
 		return nil, fmt.Errorf("mac: no stations configured")
 	}
+	if err := cfg.Channel.Loss.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Channel.CaptureThresholdDB < 0 {
+		return nil, fmt.Errorf("mac: negative capture threshold %g dB", cfg.Channel.CaptureThresholdDB)
+	}
+	if t := cfg.Channel.Topology; t != nil {
+		if err := t.Validate(len(cfg.Stations)); err != nil {
+			return nil, err
+		}
+	}
 	base := sim.NewRand(cfg.Seed)
-	e := &Engine{cfg: cfg, phy: cfg.Phy}
+	e := &Engine{cfg: cfg, phy: cfg.Phy, topo: cfg.Channel.Topology}
+	e.multi = e.topo != nil && !e.topo.IsFullMesh()
+	e.captureOn = cfg.Channel.CaptureThresholdDB > 0
+	e.lossy = !cfg.Channel.Loss.IsZero()
 	for i, sc := range cfg.Stations {
 		if err := traffic.Validate(sc.Arrivals); err != nil {
 			return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+		}
+		loss := cfg.Channel.Loss
+		if sc.Loss != nil {
+			if err := sc.Loss.Validate(); err != nil {
+				return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+			}
+			loss = *sc.Loss
+			if !loss.IsZero() {
+				e.lossy = true
+			}
 		}
 		e.stations = append(e.stations, &station{
 			id:       i,
@@ -255,14 +353,27 @@ func New(cfg Config) (*Engine, error) {
 			arrivals: sc.Arrivals,
 			cw:       cfg.Phy.CWMin,
 			backoff:  -1,
+			power:    sc.PowerDB,
+			loss:     loss,
 			rng:      base.Split(uint64(i) + 1),
 		})
 	}
+	// Derived after the station loop so the stations' substreams stay
+	// identical to the pre-extension engine.
+	e.chrng = base.Split(0xC11A17)
 	e.res = &Result{
 		Frames: make([][]*Frame, len(e.stations)),
 		Stats:  make([]StationStats, len(e.stations)),
 	}
 	return e, nil
+}
+
+// hears reports whether station a senses station b's transmissions.
+func (e *Engine) hears(a, b int) bool {
+	if e.topo == nil {
+		return true
+	}
+	return e.topo.Hears(a, b)
 }
 
 // Now reports the current simulated time (valid inside OnDepart hooks).
@@ -272,26 +383,31 @@ func (e *Engine) Now() sim.Time { return e.now }
 // including the head-of-line frame.
 func (e *Engine) QueueLen(s int) int { return e.stations[s].queueLen() }
 
+// pump moves every arrival with At <= now into the station's queue.
+func (s *station) pump(now sim.Time) {
+	for s.next < len(s.arrivals) && s.arrivals[s.next].At <= now {
+		a := s.arrivals[s.next]
+		s.next++
+		f := &Frame{
+			ID:      int64(s.id)<<40 | s.frameSeq,
+			Station: s.id,
+			Size:    a.Size,
+			Probe:   a.Probe,
+			Index:   a.Index,
+			Arrived: a.At,
+		}
+		s.frameSeq++
+		if s.queueLen() == 0 {
+			f.HOL = a.At
+		}
+		s.queue = append(s.queue, f)
+	}
+}
+
 // pumpArrivals moves every arrival with At <= now into its queue.
 func (e *Engine) pumpArrivals(now sim.Time) {
 	for _, s := range e.stations {
-		for s.next < len(s.arrivals) && s.arrivals[s.next].At <= now {
-			a := s.arrivals[s.next]
-			s.next++
-			f := &Frame{
-				ID:      int64(s.id)<<40 | s.frameSeq,
-				Station: s.id,
-				Size:    a.Size,
-				Probe:   a.Probe,
-				Index:   a.Index,
-				Arrived: a.At,
-			}
-			s.frameSeq++
-			if s.queueLen() == 0 {
-				f.HOL = a.At
-			}
-			s.queue = append(s.queue, f)
-		}
+		s.pump(now)
 	}
 }
 
@@ -315,7 +431,7 @@ func (s *station) drawBackoff() { s.backoff = s.rng.Intn(s.cw + 1) }
 // medium went idle, or the instant the station itself started sensing
 // (its frame's arrival, for stations that were fully idle).
 func (e *Engine) senseStart(s *station) sim.Time {
-	base := e.idleAt
+	base := s.idleAt
 	if s.senseFrom > base {
 		base = s.senseFrom
 	}
@@ -431,23 +547,7 @@ func (e *Engine) admitIdleArrivals() {
 	for _, s := range e.stations {
 		hadFrame := s.queueLen() > 0
 		counting := s.backoff >= 0
-		for s.next < len(s.arrivals) && s.arrivals[s.next].At <= e.now {
-			a := s.arrivals[s.next]
-			s.next++
-			f := &Frame{
-				ID:      int64(s.id)<<40 | s.frameSeq,
-				Station: s.id,
-				Size:    a.Size,
-				Probe:   a.Probe,
-				Index:   a.Index,
-				Arrived: a.At,
-			}
-			s.frameSeq++
-			if s.queueLen() == 0 {
-				f.HOL = a.At
-			}
-			s.queue = append(s.queue, f)
-		}
+		s.pump(e.now)
 		if s.queueLen() == 0 || hadFrame {
 			continue
 		}
@@ -475,8 +575,14 @@ func (e *Engine) admitIdleArrivals() {
 
 // transmitAt advances the clock to txAt, decrements frozen counters, and
 // executes the transmission (success or collision) of every station
-// whose countdown expires at txAt.
+// whose countdown expires at txAt. In a multi-domain topology the busy
+// period is a cluster of possibly overlapping transmissions, handled by
+// the imperfect-channel engine in channel.go.
 func (e *Engine) transmitAt(txAt sim.Time) {
+	if e.multi {
+		e.transmitCluster(txAt)
+		return
+	}
 	p := e.phy
 	var winners []*station
 	for _, s := range e.stations {
@@ -491,13 +597,7 @@ func (e *Engine) transmitAt(txAt sim.Time) {
 		}
 		// Decrement by the number of whole slots that elapsed before the
 		// medium went busy.
-		if txAt > start {
-			elapsed := int((txAt - start) / p.Slot)
-			if elapsed > s.backoff {
-				elapsed = s.backoff
-			}
-			s.backoff -= elapsed
-		}
+		decrementTo(s, start, txAt, p.Slot)
 	}
 	e.now = txAt
 
@@ -528,22 +628,48 @@ func (e *Engine) usesRTS(f *Frame) bool {
 	return e.cfg.RTSThreshold > 0 && f.Size >= e.cfg.RTSThreshold
 }
 
-// success completes a clean frame exchange for station s: either
-// DATA + SIFS + ACK, or the RTS/CTS four-way handshake when the frame
-// crosses the RTS threshold.
+// success completes a frame exchange for station s that won contention
+// uncontested: either DATA + SIFS + ACK, or the RTS/CTS four-way
+// handshake when the frame crosses the RTS threshold. On a lossy
+// channel the data frame may still be corrupted in flight, in which
+// case the attempt degrades to a channel-error failure.
 func (e *Engine) success(s *station) {
 	p := e.phy
-	f := s.popHOL()
+	f := s.hol()
+	txStart := e.now
 	dataStart := e.now
 	if e.usesRTS(f) {
 		dataStart += p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS
 	}
 	dataEnd := dataStart + p.DataTxTime(f.Size)
+	if e.lossy && e.chrng.Float64() < s.loss.FrameErrorProb(f.Size) {
+		e.phyFail(s, f, dataEnd)
+		return
+	}
 	exchEnd := dataEnd + p.SIFS + p.ACKTxTime()
+
+	// Medium busy until the ACK completes; everyone resumes after that.
+	e.now = exchEnd
+	for _, o := range e.stations {
+		o.idleAt = exchEnd
+		o.eifs = false
+	}
+	e.deliver(s, f, txStart, dataEnd, exchEnd, false)
+}
+
+// deliver applies the shared successful-exchange bookkeeping — the
+// counterpart of retryFail: the frame's timestamps and result records,
+// the trace events, the per-station stats, the contention-window reset
+// and the mandatory backoff (regular if more frames wait, post-backoff
+// otherwise). Callers advance the clock and settle the other stations'
+// idleAt/eifs first, so the OnDepart hook observes the post-exchange
+// state.
+func (e *Engine) deliver(s *station, f *Frame, txStart, dataEnd, exchEnd sim.Time, captured bool) {
+	s.popHOL()
 	f.Departed = dataEnd
 	f.Retries = s.retries
 	if e.cfg.OnEvent != nil {
-		e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
+		e.cfg.OnEvent(Event{At: txStart, Kind: EvTxStart, Station: s.id,
 			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
 		e.cfg.OnEvent(Event{At: dataEnd, Kind: EvSuccess, Station: s.id,
 			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
@@ -552,19 +678,14 @@ func (e *Engine) success(s *station) {
 	st := &e.res.Stats[s.id]
 	st.Attempts++
 	st.Delivered++
+	if captured {
+		st.Captured++
+	}
 	st.PayloadBits += int64(f.Size) * 8
 
-	// Medium busy until the ACK completes; everyone resumes after that.
-	e.now = exchEnd
-	e.idleAt = exchEnd
-	for _, o := range e.stations {
-		o.eifs = false
-	}
-
-	// Successful station resets its window and performs the mandatory
-	// backoff (regular if more frames wait, post-backoff otherwise).
-	s.cw = p.CWMin
+	s.cw = e.phy.CWMin
 	s.retries = 0
+	s.eifs = false
 	if nf := s.hol(); nf != nil {
 		nf.HOL = exchEnd
 		s.postBO = false
@@ -579,13 +700,82 @@ func (e *Engine) success(s *station) {
 	e.res.Frames[s.id] = append(e.res.Frames[s.id], f)
 }
 
+// phyFail handles a frame whose only impairment was the channel: the
+// data frame occupied the medium but arrived corrupted, so no ACK
+// follows. The transmitter times out and backs off with a doubled
+// window (the ACK timeout is folded into EIFS sensing, as on the
+// collision path); each bystander draws its own copy's error trial and
+// defers EIFS when it, too, could not decode the frame.
+func (e *Engine) phyFail(s *station, f *Frame, dataEnd sim.Time) {
+	st := &e.res.Stats[s.id]
+	st.Attempts++
+	st.ChannelErrors++
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+		e.cfg.OnEvent(Event{At: dataEnd, Kind: EvPhyError, Station: s.id,
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+	}
+	for _, o := range e.stations {
+		o.idleAt = dataEnd
+		if o != s && e.hears(o.id, s.id) {
+			o.eifs = e.chrng.Float64() < s.loss.FrameErrorProb(f.Size)
+		}
+	}
+	e.retryFail(s, dataEnd)
+	e.now = dataEnd
+}
+
+// retryFail applies the shared failed-attempt bookkeeping: the retry
+// counter, window doubling or the retry-limit drop, the backoff redraw,
+// and the EIFS deferral that stands in for the ACK timeout.
+func (e *Engine) retryFail(s *station, at sim.Time) {
+	p := e.phy
+	s.retries++
+	if s.retries >= p.RetryLimit {
+		// Long retry limit exhausted: drop the frame.
+		df := s.popHOL()
+		e.res.Stats[s.id].Dropped++
+		if e.cfg.OnEvent != nil {
+			e.cfg.OnEvent(Event{At: at, Kind: EvDrop, Station: s.id,
+				Size: df.Size, Probe: df.Probe, Index: df.Index, Retries: s.retries})
+		}
+		s.retries = 0
+		s.cw = p.CWMin
+		if nf := s.hol(); nf != nil {
+			nf.HOL = at
+			s.postBO = false
+		} else {
+			s.postBO = true
+		}
+	} else {
+		s.cw = 2*(s.cw+1) - 1
+		if s.cw > p.CWMax {
+			s.cw = p.CWMax
+		}
+		s.postBO = false
+	}
+	s.drawBackoff()
+	// The station senses its ACK timeout before re-contending; fold it
+	// into the station's sensing by marking EIFS (ACKTimeout+DIFS ~= EIFS
+	// for our PHY profiles).
+	s.eifs = true
+}
+
 // collision handles two or more stations transmitting in the same slot.
-// The medium is busy for the longest colliding transmission (a full
-// data frame, or just an RTS for stations using the handshake — the
-// collision-cost reduction RTS/CTS exists for); colliders wait for
-// their timeout, double their windows and redraw; bystanders defer
-// with EIFS.
+// With capture enabled and one frame dominant enough in power, the
+// receiver decodes it and only the others fail. Otherwise the medium is
+// busy for the longest colliding transmission (a full data frame, or
+// just an RTS for stations using the handshake — the collision-cost
+// reduction RTS/CTS exists for); colliders wait for their timeout,
+// double their windows and redraw; bystanders defer with EIFS.
 func (e *Engine) collision(tx []*station) {
+	if e.captureOn {
+		if w := e.captureWinner(tx); w != nil {
+			e.capturedCollision(w, tx)
+			return
+		}
+	}
 	p := e.phy
 	var busy sim.Time
 	for _, s := range tx {
@@ -614,41 +804,118 @@ func (e *Engine) collision(tx []*station) {
 	}
 	for _, o := range e.stations {
 		o.eifs = !colliding[o.id]
+		o.idleAt = busyEnd
 	}
 
 	for _, s := range tx {
-		s.retries++
-		if s.retries >= p.RetryLimit {
-			// Long retry limit exhausted: drop the frame.
-			df := s.popHOL()
-			e.res.Stats[s.id].Dropped++
-			if e.cfg.OnEvent != nil {
-				e.cfg.OnEvent(Event{At: busyEnd, Kind: EvDrop, Station: s.id,
-					Size: df.Size, Probe: df.Probe, Index: df.Index, Retries: s.retries})
-			}
-			s.retries = 0
-			s.cw = p.CWMin
-			if nf := s.hol(); nf != nil {
-				nf.HOL = busyEnd
-				s.postBO = false
-			} else {
-				s.postBO = true
-			}
-		} else {
-			s.cw = 2*(s.cw+1) - 1
-			if s.cw > p.CWMax {
-				s.cw = p.CWMax
-			}
-			s.postBO = false
-		}
-		s.drawBackoff()
-		// The collider senses its ACK timeout before re-contending; fold
-		// it into the station's sensing by marking EIFS (ACKTimeout+DIFS
-		// ~= EIFS for our PHY profiles).
-		s.eifs = true
+		e.retryFail(s, busyEnd)
 	}
 	e.now = busyEnd
-	e.idleAt = busyEnd
+	e.pumpArrivals(busyEnd)
+}
+
+// captureWinner returns the station whose frame the receiver captures
+// out of the simultaneous transmissions tx: the unique strongest one,
+// provided its margin over the runner-up meets the configured
+// threshold. It returns nil when powers tie or the margin is short.
+func (e *Engine) captureWinner(tx []*station) *station {
+	best, second := tx[0], math.Inf(-1)
+	for _, s := range tx[1:] {
+		switch {
+		case s.power > best.power:
+			second = best.power
+			best = s
+		case s.power > second:
+			second = s.power
+		}
+	}
+	if best.power-second >= e.cfg.Channel.CaptureThresholdDB {
+		return best
+	}
+	return nil
+}
+
+// capturedCollision resolves a same-slot overlap whose strongest frame
+// the receiver captures: the winner completes a normal exchange (still
+// subject to the channel error model) while the losers behave exactly
+// like colliders. The medium stays busy until both the winner's
+// exchange and the longest losing transmission are over.
+func (e *Engine) capturedCollision(w *station, tx []*station) {
+	p := e.phy
+	var losersBusy sim.Time
+	for _, s := range tx {
+		if s == w {
+			continue
+		}
+		f := s.hol()
+		d := p.DataTxTime(f.Size)
+		if e.usesRTS(f) {
+			d = p.RTSTxTime()
+		}
+		if d > losersBusy {
+			losersBusy = d
+		}
+		e.res.Stats[s.id].Attempts++
+		e.res.Stats[s.id].Collisions++
+		if e.cfg.OnEvent != nil {
+			e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+			e.cfg.OnEvent(Event{At: e.now, Kind: EvCollision, Station: s.id,
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+		}
+	}
+
+	wf := w.hol()
+	dataStart := e.now
+	if e.usesRTS(wf) {
+		dataStart += p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS
+	}
+	dataEnd := dataStart + p.DataTxTime(wf.Size)
+	corrupted := e.lossy && e.chrng.Float64() < w.loss.FrameErrorProb(wf.Size)
+	start := e.now
+
+	if corrupted {
+		// The captured frame still failed the channel: everyone loses.
+		busyEnd := dataEnd
+		if be := start + losersBusy; be > busyEnd {
+			busyEnd = be
+		}
+		e.res.Stats[w.id].Attempts++
+		e.res.Stats[w.id].ChannelErrors++
+		if e.cfg.OnEvent != nil {
+			e.cfg.OnEvent(Event{At: start, Kind: EvTxStart, Station: w.id,
+				Size: wf.Size, Probe: wf.Probe, Index: wf.Index, Retries: w.retries})
+			e.cfg.OnEvent(Event{At: dataEnd, Kind: EvPhyError, Station: w.id,
+				Size: wf.Size, Probe: wf.Probe, Index: wf.Index, Retries: w.retries})
+		}
+		for _, o := range e.stations {
+			o.eifs = true
+			o.idleAt = busyEnd
+		}
+		for _, s := range tx {
+			e.retryFail(s, busyEnd)
+		}
+		e.now = busyEnd
+		e.pumpArrivals(busyEnd)
+		return
+	}
+
+	exchEnd := dataEnd + p.SIFS + p.ACKTxTime()
+	busyEnd := exchEnd
+	if be := start + losersBusy; be > busyEnd {
+		busyEnd = be
+	}
+	for _, o := range e.stations {
+		o.eifs = false
+		o.idleAt = busyEnd
+	}
+	e.now = busyEnd
+	e.deliver(w, wf, start, dataEnd, exchEnd, true)
+	for _, s := range tx {
+		if s != w {
+			e.retryFail(s, busyEnd)
+		}
+	}
 	e.pumpArrivals(busyEnd)
 }
 

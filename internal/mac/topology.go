@@ -1,0 +1,108 @@
+package mac
+
+import "fmt"
+
+// Topology is the station adjacency (hearing) graph of a scenario: it
+// records, for every ordered pair of stations, whether one can sense the
+// other's transmissions. The common receiver the stations send to (the
+// access point implied by the paper's infrastructure setup) is not a
+// node of the graph: it always hears, and is heard by, every station.
+//
+// A nil Topology in Config means a full mesh — every station hears every
+// other — which together with a zero ErrorModel reproduces the single
+// perfect collision domain of the original simulator exactly.
+//
+// Hearing is what the MAC uses for carrier sense, backoff freezing and
+// EIFS deferral. Two stations outside each other's hearing range are
+// hidden terminals: their transmissions can overlap in time and collide
+// at the receiver even though neither ever sensed a busy medium.
+type Topology struct {
+	n    int
+	hear [][]bool
+}
+
+// NewTopology returns a graph of n stations with no links: every
+// station is hidden from every other (each still hears itself and the
+// common receiver). Add links with Connect.
+func NewTopology(n int) *Topology {
+	t := &Topology{n: n, hear: make([][]bool, n)}
+	for i := range t.hear {
+		t.hear[i] = make([]bool, n)
+		t.hear[i][i] = true
+	}
+	return t
+}
+
+// FullMesh returns the complete graph on n stations — the classic
+// single collision domain.
+func FullMesh(n int) *Topology {
+	t := NewTopology(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t.hear[i][j] = true
+		}
+	}
+	return t
+}
+
+// Chain returns a line topology: station i hears only stations i-1 and
+// i+1. With three stations this is the classic hidden-terminal setup
+// when the outer two carry traffic.
+func Chain(n int) *Topology {
+	t := NewTopology(n)
+	for i := 0; i+1 < n; i++ {
+		t.Connect(i, i+1)
+	}
+	return t
+}
+
+// HiddenPair returns two stations that cannot hear each other — the
+// minimal hidden-terminal scenario, both contending for the common
+// receiver with no mutual carrier sense.
+func HiddenPair() *Topology { return NewTopology(2) }
+
+// Connect adds a bidirectional hearing link between stations a and b
+// and returns the topology for chaining.
+func (t *Topology) Connect(a, b int) *Topology {
+	t.hear[a][b] = true
+	t.hear[b][a] = true
+	return t
+}
+
+// N returns the number of stations in the graph.
+func (t *Topology) N() int { return t.n }
+
+// Hears reports whether station a senses station b's transmissions.
+// Stations always hear themselves.
+func (t *Topology) Hears(a, b int) bool { return t.hear[a][b] }
+
+// IsFullMesh reports whether every station hears every other, i.e. the
+// topology degenerates to a single collision domain.
+func (t *Topology) IsFullMesh() bool {
+	for i := range t.hear {
+		for j := range t.hear[i] {
+			if !t.hear[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks the graph size against the station count.
+func (t *Topology) Validate(stations int) error {
+	if t.n != stations {
+		return fmt.Errorf("mac: topology has %d stations, scenario has %d", t.n, stations)
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so scenario builders can derive variants
+// without sharing mutable state across replications.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{n: t.n, hear: make([][]bool, t.n)}
+	for i := range t.hear {
+		c.hear[i] = append([]bool(nil), t.hear[i]...)
+	}
+	return c
+}

@@ -1,0 +1,63 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorModel describes the probability that a data frame is received in
+// error on a link. It is the PHY-layer half of the imperfect-channel
+// extension: the MAC engine draws one Bernoulli trial per (frame,
+// receiver) from the probability this model assigns.
+//
+// Two parameterisations compose multiplicatively:
+//
+//   - FER is a size-independent frame-error rate, the knob the
+//     experiment drivers sweep (1%, 5%, ...).
+//   - BER is a bit-error rate; a frame of b bits then survives with
+//     probability (1-BER)^b, so longer frames are proportionally more
+//     fragile, matching the usual independent-bit channel abstraction.
+//
+// The zero value is the perfect channel: no frame is ever corrupted and
+// the MAC engine draws no randomness for it, which keeps perfect-channel
+// runs bit-identical to the pre-extension simulator.
+//
+// Control frames (RTS, CTS, ACK) are modelled as error-free: they are
+// short and sent at the robust basic rate, and keeping them clean bounds
+// the per-exchange randomness. The simplification is documented at the
+// MAC layer where it is applied.
+type ErrorModel struct {
+	// FER is the per-frame error probability in [0, 1).
+	FER float64
+	// BER is the per-bit error probability in [0, 1).
+	BER float64
+}
+
+// IsZero reports whether the model never corrupts a frame.
+func (m ErrorModel) IsZero() bool { return m.FER == 0 && m.BER == 0 }
+
+// Validate rejects probabilities outside [0, 1). A FER or BER of 1
+// would mean no frame is ever delivered; treat it as a configuration
+// error rather than silently simulating a dead link.
+func (m ErrorModel) Validate() error {
+	if m.FER < 0 || m.FER >= 1 || math.IsNaN(m.FER) {
+		return fmt.Errorf("phy: FER %g outside [0, 1)", m.FER)
+	}
+	if m.BER < 0 || m.BER >= 1 || math.IsNaN(m.BER) {
+		return fmt.Errorf("phy: BER %g outside [0, 1)", m.BER)
+	}
+	return nil
+}
+
+// FrameErrorProb returns the probability that a frame carrying payload
+// bytes of higher-layer data is received in error: the complement of
+// surviving both the FER trial and the independent per-bit trials over
+// the full MAC frame (payload plus header and FCS).
+func (m ErrorModel) FrameErrorProb(payload int) float64 {
+	ok := 1 - m.FER
+	if m.BER > 0 {
+		bits := float64((payload + MACHeaderBytes) * 8)
+		ok *= math.Pow(1-m.BER, bits)
+	}
+	return 1 - ok
+}

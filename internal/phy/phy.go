@@ -1,12 +1,15 @@
-// Package phy models the timing of IEEE 802.11 physical layers at the
-// level of detail needed by the DCF MAC engine: slot time, inter-frame
-// spaces, PLCP preamble/header overhead, and the airtime of data and
-// acknowledgement frames.
+// Package phy models the IEEE 802.11 physical layer at the level of
+// detail needed by the DCF MAC engine: the timing side (slot time,
+// inter-frame spaces, PLCP preamble/header overhead, and the airtime of
+// data and acknowledgement frames) and the reception side (ErrorModel,
+// the per-frame/per-bit corruption probabilities the MAC draws its
+// channel-error trials from).
 //
 // The reproduction follows the paper's validation setup: 802.11b at
 // 11 Mb/s, long PLCP preamble, no RTS/CTS, ACKs at the basic rate.
 // Other profiles (short preamble, 802.11g/a) are provided both for
-// completeness and for the capacity-level ablation benches.
+// completeness and for the capacity-level ablation benches; the zero
+// ErrorModel is the paper's error-free channel.
 package phy
 
 import (

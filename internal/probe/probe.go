@@ -11,6 +11,12 @@
 // times with independent seeds and Poisson-spaced train starts, exactly
 // as the paper repeats experiments 80+ times on the testbed and
 // 25000-70000 times in simulation.
+//
+// Beyond the paper's perfect-channel validation setup, a Link carries
+// the imperfect-channel knobs (Loss, Topology, CaptureDB and
+// RTSThreshold), so measurements run unchanged over lossy links and
+// hidden-terminal topologies; the zero values reproduce the paper's
+// single perfect collision domain exactly.
 package probe
 
 import (
@@ -36,6 +42,11 @@ type Flow struct {
 	// separated by exponential OFF periods, preserving RateBps on
 	// average.
 	OnMean, OffMean sim.Time
+	// PowerDB is the sending station's received power at the common
+	// receiver in relative dB, consumed by the capture rule (Link
+	// CaptureDB). Meaningful for Contenders only; flows sharing the
+	// probe station's FIFO transmit at the probe station's power.
+	PowerDB float64
 }
 
 // schedule realises the flow over [0, end).
@@ -64,6 +75,24 @@ type Link struct {
 	// regime (default 500ms). The paper's transient appears because the
 	// *probing flow* starts, not because the cross-traffic is cold.
 	WarmUp sim.Time
+	// Loss is the frame-error model applied on every station's uplink
+	// to the common receiver; the zero value is the perfect channel.
+	Loss phy.ErrorModel
+	// Topology is the hearing graph over the probing station (index 0)
+	// and the contenders (indices 1..len(Contenders)); nil is a full
+	// mesh, i.e. the single collision domain the paper validates in.
+	Topology *mac.Topology
+	// CaptureDB is the receiver capture threshold in dB; 0 disables
+	// capture. Station powers come from ProbePowerDB and each
+	// contender Flow's PowerDB; all-equal powers (the default) mean no
+	// frame can ever capture.
+	CaptureDB float64
+	// ProbePowerDB is the probing station's received power at the
+	// common receiver in relative dB.
+	ProbePowerDB float64
+	// RTSThreshold enables the RTS/CTS handshake for payloads meeting
+	// it; 0 disables RTS/CTS (the paper's configuration).
+	RTSThreshold int
 	// Seed drives all randomness. Replication r uses an independent
 	// derived stream.
 	Seed int64
@@ -88,6 +117,17 @@ func (l Link) WithDefaults() Link {
 		l.WarmUp = 500 * sim.Millisecond
 	}
 	return l
+}
+
+// channel assembles the propagation model the link describes. The
+// zero-value knobs yield the zero mac.Channel: the perfect single
+// collision domain, byte-identical to the pre-extension engine.
+func (l Link) channel() mac.Channel {
+	return mac.Channel{
+		Topology:           l.Topology,
+		Loss:               l.Loss,
+		CaptureThresholdDB: l.CaptureDB,
+	}
 }
 
 // TrainSample is the outcome of one probing-train replication.
@@ -137,17 +177,21 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 			f.schedule(r.Split(uint64(fi)+100), end))
 	}
 	cfg := mac.Config{
-		Phy:  l.Phy,
-		Seed: l.Seed ^ (rep+1)*0x9e3779b9,
+		Phy:          l.Phy,
+		Seed:         l.Seed ^ (rep+1)*0x9e3779b9,
+		Channel:      l.channel(),
+		RTSThreshold: l.RTSThreshold,
 	}
 	cfg.Stations = append(cfg.Stations, mac.StationConfig{
 		Name:     "probe",
 		Arrivals: traffic.Merge(station0...),
+		PowerDB:  l.ProbePowerDB,
 	})
 	for ci, f := range l.Contenders {
 		cfg.Stations = append(cfg.Stations, mac.StationConfig{
 			Name:     fmt.Sprintf("contender-%d", ci),
 			Arrivals: f.schedule(r.Split(uint64(ci)+200), end),
+			PowerDB:  f.PowerDB,
 		})
 	}
 	return cfg, end
@@ -382,18 +426,22 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 			f.schedule(r.Split(uint64(fi)+100), end))
 	}
 	cfg := mac.Config{
-		Phy:     l.Phy,
-		Seed:    l.Seed,
-		Horizon: end,
+		Phy:          l.Phy,
+		Seed:         l.Seed,
+		Horizon:      end,
+		Channel:      l.channel(),
+		RTSThreshold: l.RTSThreshold,
 	}
 	cfg.Stations = append(cfg.Stations, mac.StationConfig{
 		Name:     "probe",
 		Arrivals: traffic.Merge(station0...),
+		PowerDB:  l.ProbePowerDB,
 	})
 	for ci, f := range l.Contenders {
 		cfg.Stations = append(cfg.Stations, mac.StationConfig{
 			Name:     fmt.Sprintf("contender-%d", ci),
 			Arrivals: f.schedule(r.Split(uint64(ci)+200), end),
+			PowerDB:  f.PowerDB,
 		})
 	}
 	res, err := mac.Run(cfg)

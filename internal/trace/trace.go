@@ -151,7 +151,7 @@ func (tr *Reader) Next() (mac.Event, error) {
 		Index:   int(int32(binary.LittleEndian.Uint32(rec[20:]))),
 		Retries: int(int32(binary.LittleEndian.Uint32(rec[24:]))),
 	}
-	if ev.Kind < mac.EvTxStart || ev.Kind > mac.EvDrop {
+	if ev.Kind < mac.EvTxStart || ev.Kind > mac.EvPhyError {
 		return mac.Event{}, fmt.Errorf("trace: invalid event kind %d", ev.Kind)
 	}
 	return ev, nil
@@ -179,6 +179,7 @@ type Summary struct {
 	Successes  int
 	Collisions int // collision events (one per involved station)
 	Drops      int
+	PhyErrors  int // frames corrupted by the channel error model
 	// ProbeDepartures are the departure times of probe packets in
 	// index order of appearance (for dispersion analysis from a trace).
 	ProbeDepartures []sim.Time
@@ -213,6 +214,8 @@ func Summarize(r io.Reader) (*Summary, error) {
 			s.Collisions++
 		case mac.EvDrop:
 			s.Drops++
+		case mac.EvPhyError:
+			s.PhyErrors++
 		}
 	}
 }
