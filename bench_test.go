@@ -422,14 +422,38 @@ func BenchmarkAblationPostBackoff(b *testing.B) {
 
 // BenchmarkMACEngine measures raw simulator throughput: simulated
 // seconds of a loaded two-station scenario per wall-clock second.
+// allocs/op is part of the contract: the event-driven engine's hot path
+// (arena frames, scratch buffers, lazy sources) must not allocate per
+// packet, so the figure stays flat as the scenario grows.
 func BenchmarkMACEngine(b *testing.B) {
 	l := probe.Link{
 		Contenders: []probe.Flow{{RateBps: 4e6, Size: 1500}},
 		Seed:       7,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := probe.MeasureTrain(l, 100, 8e6, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainReplication is the allocation benchmark of the
+// replication unit itself — one train measurement end to end, the body
+// the dense figures execute tens of thousands of times. Compare
+// allocs/op against the packet count (train of 200 plus the consumed
+// cross-traffic): the ratio must stay far below one allocation per
+// packet.
+func BenchmarkTrainReplication(b *testing.B) {
+	l := probe.Link{
+		Contenders: []probe.Flow{{RateBps: 4e6, Size: 1500}},
+		Seed:       11,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probe.MeasureTrainOne(l, 200, 5e6, i); err != nil {
 			b.Fatal(err)
 		}
 	}

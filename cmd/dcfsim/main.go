@@ -52,7 +52,7 @@ func (s *stationSpecs) Set(v string) error {
 	return nil
 }
 
-func parseStation(spec string, r *sim.Rand, end sim.Time) ([]traffic.Arrival, float64, error) {
+func parseStation(spec string, r *sim.Rand, end sim.Time) (traffic.Source, float64, error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 && len(parts) != 4 {
 		return nil, 0, fmt.Errorf("station spec %q: want kind:rateMbps:size[:powerDB]", spec)
@@ -72,11 +72,13 @@ func parseStation(spec string, r *sim.Rand, end sim.Time) ([]traffic.Arrival, fl
 			return nil, 0, fmt.Errorf("station spec %q: bad power", spec)
 		}
 	}
+	// Lazy sources: the engine pulls arrivals as the clock advances, so
+	// long -duration runs never materialize their schedules up front.
 	switch parts[0] {
 	case "poisson":
-		return traffic.Poisson(r, rate*1e6, size, 0, end), power, nil
+		return traffic.NewPoisson(r, rate*1e6, size, 0, end), power, nil
 	case "cbr":
-		return traffic.CBR(rate*1e6, size, 0, end), power, nil
+		return traffic.NewCBR(rate*1e6, size, 0, end), power, nil
 	}
 	return nil, 0, fmt.Errorf("station spec %q: unknown kind %q", spec, parts[0])
 }
@@ -153,11 +155,11 @@ func main() {
 		stream := root.Child(uint64(rep))
 		cfg := mac.Config{Phy: p, Seed: stream.Child(0).Seed(), Horizon: end, RTSThreshold: *rts, Channel: channel}
 		for i, spec := range specs {
-			arr, power, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
+			src, power, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
 			if err != nil {
 				return nil, err
 			}
-			cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: names[i], Arrivals: arr, PowerDB: power})
+			cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: names[i], Source: src, PowerDB: power})
 		}
 		if rep == 0 && tw != nil {
 			hook, _ := tw.Hook()

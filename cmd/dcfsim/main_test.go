@@ -5,26 +5,28 @@ import (
 	"testing"
 
 	"csmabw/internal/sim"
+	"csmabw/internal/traffic"
 )
 
 func TestParseStation(t *testing.T) {
 	r := sim.NewRand(1)
 	end := sim.Second
 
-	arr, _, err := parseStation("cbr:2:1500", r, end)
+	src, _, err := parseStation("cbr:2:1500", r, end)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 2e6/(1500*8) ~ 166.7 packets/s over 1s; the CBR generator emits a
 	// packet at t=0, so the count rounds up.
-	if len(arr) != 167 {
+	if arr := traffic.Collect(src); len(arr) != 167 {
 		t.Errorf("cbr packets = %d, want 167", len(arr))
 	}
 
-	arr, power, err := parseStation("poisson:4:576", r, end)
+	src, power, err := parseStation("poisson:4:576", r, end)
 	if err != nil {
 		t.Fatal(err)
 	}
+	arr := traffic.Collect(src)
 	if len(arr) == 0 {
 		t.Error("poisson produced nothing")
 	}

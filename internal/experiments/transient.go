@@ -200,6 +200,9 @@ func FigKS(id string, p TransientParams, sc Scale, opt KSOptions) (*Figure, erro
 			if len(tail) == 0 {
 				return nil, fmt.Errorf("experiments: empty steady-state pool (TailFrom=%d)", opt.TailFrom)
 			}
+			// The steady-state pool is large (reps × tail indices) and
+			// every packet index tests against it: sort it once.
+			tailECDF := stats.NewECDF(tail)
 			ksS := Series{Name: "KS value"}
 			thrS := Series{Name: "threshold 95% CI"}
 			if opt.Packets > p.TrainLen {
@@ -212,9 +215,9 @@ func FigKS(id string, p TransientParams, sc Scale, opt KSOptions) (*Figure, erro
 				}
 				var res stats.KSResult
 				if opt.Interpolate {
-					res = stats.KSTwoSampleInterp(col, tail, opt.Alpha)
+					res = stats.KSTwoSampleInterpECDF(col, tailECDF, opt.Alpha)
 				} else {
-					res = stats.KSTwoSample(col, tail, opt.Alpha)
+					res = stats.KSTwoSampleECDF(col, tailECDF, opt.Alpha)
 				}
 				x := float64(i + 1)
 				ksS.X = append(ksS.X, x)

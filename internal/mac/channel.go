@@ -104,6 +104,7 @@ func (e *Engine) transmitCluster(txAt sim.Time) {
 		if s.hol() == nil {
 			s.backoff = -1
 			s.postBO = false
+			e.nActive--
 			continue
 		}
 		entries = append(entries, e.newClusterEntry(s, txAt))
@@ -135,10 +136,10 @@ func (e *Engine) transmitCluster(txAt sim.Time) {
 		}
 	}
 	const notFrozen = sim.Time(-1)
-	frozen := make([]sim.Time, len(e.stations))
-	heardTx := make([]bool, len(e.stations))
+	frozen, heardTx := e.frozenScratch, e.heardScratch
 	for i := range frozen {
 		frozen[i] = notFrozen
+		heardTx[i] = false
 	}
 	for _, c := range cands {
 		heard := sim.MaxTime
@@ -157,6 +158,7 @@ func (e *Engine) transmitCluster(txAt sim.Time) {
 			if c.s.hol() == nil {
 				c.s.backoff = -1
 				c.s.postBO = false
+				e.nActive--
 				continue
 			}
 			en := e.newClusterEntry(c.s, c.expiry)
@@ -284,7 +286,10 @@ func (e *Engine) transmitCluster(txAt sim.Time) {
 	// corrupted frame triggers the bystander's own decode trial (its
 	// copy crossed an independent channel); a heard clean exchange
 	// clears any pending EIFS; hearing nothing leaves it untouched.
-	inCluster := make([]bool, len(e.stations))
+	inCluster := e.clusterScratch
+	for i := range inCluster {
+		inCluster[i] = false
+	}
 	for _, en := range entries {
 		inCluster[en.s.id] = true
 	}

@@ -29,6 +29,18 @@
 // drivers can study both the steady state (Figs. 1, 4) and the transient
 // (Figs. 6-10, 13, 15-17), under perfect and imperfect channels alike.
 //
+// The engine core is event-driven rather than scan-driven: an indexed
+// heap of per-station pending arrivals replaces the all-station arrival
+// scans, an active-station counter replaces the all-station backlog
+// scans, and each idle period computes every station's candidate
+// transmission instant exactly once, updating the minimum incrementally
+// as arrivals are admitted. Traffic is pulled lazily from
+// traffic.Source generators (StationConfig.Source), so a run that stops
+// early — see Config.StopWhen — never materializes or draws the tail of
+// a schedule it will not consume. Frames come from a slab arena. None
+// of this changes behaviour: RNG draw order is byte-identical to the
+// scan-driven engine.
+//
 // Model simplifications (documented, deliberate): control frames (RTS,
 // CTS, ACK) are never corrupted by the error model — they are short and
 // sent at the robust basic rate; ACKs from the common receiver always
@@ -79,8 +91,15 @@ type StationConfig struct {
 	Name string
 	// Arrivals is the station's time-ordered packet schedule. Probe and
 	// FIFO cross-traffic sharing one queue are expressed by merging
-	// their schedules into a single station (traffic.Merge).
+	// their schedules into a single station (traffic.Merge). Ignored
+	// when Source is set.
 	Arrivals []traffic.Arrival
+	// Source is the lazy form of Arrivals: a pull-based generator the
+	// engine consumes as simulated time advances (traffic.MergeSources
+	// combines probe and FIFO cross flows). It must yield arrivals in
+	// non-decreasing time order with positive sizes; the engine panics
+	// on a violation, since by then the run is undefined.
+	Source traffic.Source
 	// PowerDB is the station's received power at the common receiver in
 	// relative dB, consumed by the capture rule. The default 0 dB for
 	// every station means equal powers, so no frame can capture.
@@ -147,6 +166,21 @@ type Config struct {
 	// start, success, collision, drop) — the hook the trace recorder
 	// (internal/trace) attaches to.
 	OnEvent func(ev Event)
+
+	// StopWhen, if set, is polled after every resolved busy period; the
+	// run ends as soon as it returns true. Everything simulated up to
+	// the stop instant — delivered frames, stats, hook invocations — is
+	// exactly what an un-stopped run would have produced, so a
+	// measurement that only needs a prefix of the scenario (a probing
+	// train that has fully drained, say) can cut the tail without
+	// changing a single recorded value.
+	StopWhen func() bool
+
+	// RecordFrames, if set, selects which stations' delivered frames
+	// are retained in Result.Frames; other stations deliver normally
+	// (stats, hooks, and timing are unaffected) but their frames are
+	// not accumulated. Nil retains every station.
+	RecordFrames func(station int) bool
 }
 
 // EventKind classifies channel events for tracing.
@@ -206,7 +240,8 @@ type StationStats struct {
 
 // Result is everything a run produces.
 type Result struct {
-	// Frames holds every delivered frame, per station, in departure order.
+	// Frames holds every delivered frame, per station, in departure
+	// order (empty for stations excluded by Config.RecordFrames).
 	Frames [][]*Frame
 	// Stats per station.
 	Stats []StationStats
@@ -243,10 +278,17 @@ func (r *Result) ProbeFrames(s int) []*Frame {
 
 // station is the runtime state of one DCF transmitter.
 type station struct {
-	id       int
-	name     string
-	arrivals []traffic.Arrival
-	next     int // cursor into arrivals
+	id   int
+	name string
+
+	src traffic.Source
+	// pending is the next arrival pulled from src but not yet due; it
+	// is valid while hasPending. lastAt enforces the source's time
+	// ordering.
+	pending    traffic.Arrival
+	hasPending bool
+	lastAt     sim.Time
+	heapIdx    int // position in the engine's arrival heap, -1 when absent
 
 	queue   []*Frame
 	head    int // index of HOL frame within queue (amortised pop)
@@ -268,6 +310,8 @@ type station struct {
 	loss     phy.ErrorModel // resolved error model for this station's uplink
 	rng      *sim.Rand
 	frameSeq int64
+
+	inTx bool // scratch flag for collision bookkeeping
 }
 
 func (s *station) queueLen() int { return len(s.queue) - s.head }
@@ -290,6 +334,31 @@ func (s *station) popHOL() *Frame {
 	return f
 }
 
+// active reports whether the station holds a frame or an armed
+// countdown. A countdown with an empty queue is always a post-backoff,
+// so this is the predicate the engine's active-station counter tracks.
+func (s *station) active() bool { return s.queueLen() > 0 || s.backoff >= 0 }
+
+// advancePending pulls the next arrival from the station's source,
+// enforcing the Source ordering contract.
+func (s *station) advancePending() {
+	a, ok := s.src.Next()
+	if !ok {
+		s.hasPending = false
+		return
+	}
+	if a.Size <= 0 {
+		panic(fmt.Sprintf("mac: station %d (%s): source produced non-positive size %d", s.id, s.name, a.Size))
+	}
+	if a.At < s.lastAt || a.At < 0 {
+		panic(fmt.Sprintf("mac: station %d (%s): source produced out-of-order arrival at %v after %v",
+			s.id, s.name, a.At, s.lastAt))
+	}
+	s.lastAt = a.At
+	s.pending = a
+	s.hasPending = true
+}
+
 // Engine runs one scenario. Create with New, drive with Run.
 type Engine struct {
 	cfg      Config
@@ -307,6 +376,25 @@ type Engine struct {
 	// never advanced on a perfect channel, so perfect-channel runs make
 	// exactly the pre-extension draw sequence.
 	chrng *sim.Rand
+
+	// Event-driven bookkeeping: nActive counts stations satisfying
+	// station.active(), arrHeap indexes pending arrivals, arena batches
+	// Frame allocations, record caches the RecordFrames decisions, and
+	// the scratch slices below are reused across busy periods so the
+	// hot path allocates nothing.
+	nActive int
+	arrHeap arrivalHeap
+	arena   frameArena
+	record  []bool
+
+	winnersScratch []*station
+	txScratch      []*station
+	admitScratch   []*station
+	// Multi-domain (busy-cluster) scratch, allocated only when the
+	// topology hides stations from each other.
+	frozenScratch  []sim.Time
+	heardScratch   []bool
+	clusterScratch []bool
 }
 
 // New validates the configuration and prepares an engine.
@@ -334,8 +422,12 @@ func New(cfg Config) (*Engine, error) {
 	e.captureOn = cfg.Channel.CaptureThresholdDB > 0
 	e.lossy = !cfg.Channel.Loss.IsZero()
 	for i, sc := range cfg.Stations {
-		if err := traffic.Validate(sc.Arrivals); err != nil {
-			return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+		src := sc.Source
+		if src == nil {
+			if err := traffic.Validate(sc.Arrivals); err != nil {
+				return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+			}
+			src = traffic.FromSchedule(sc.Arrivals)
 		}
 		loss := cfg.Channel.Loss
 		if sc.Loss != nil {
@@ -348,14 +440,15 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 		e.stations = append(e.stations, &station{
-			id:       i,
-			name:     sc.Name,
-			arrivals: sc.Arrivals,
-			cw:       cfg.Phy.CWMin,
-			backoff:  -1,
-			power:    sc.PowerDB,
-			loss:     loss,
-			rng:      base.Split(uint64(i) + 1),
+			id:      i,
+			name:    sc.Name,
+			src:     src,
+			heapIdx: -1,
+			cw:      cfg.Phy.CWMin,
+			backoff: -1,
+			power:   sc.PowerDB,
+			loss:    loss,
+			rng:     base.Split(uint64(i) + 1),
 		})
 	}
 	// Derived after the station loop so the stations' substreams stay
@@ -364,6 +457,22 @@ func New(cfg Config) (*Engine, error) {
 	e.res = &Result{
 		Frames: make([][]*Frame, len(e.stations)),
 		Stats:  make([]StationStats, len(e.stations)),
+	}
+	e.record = make([]bool, len(e.stations))
+	for i := range e.record {
+		e.record[i] = cfg.RecordFrames == nil || cfg.RecordFrames(i)
+	}
+	// Prime each station's pending arrival and index it.
+	for _, s := range e.stations {
+		s.advancePending()
+		if s.hasPending {
+			e.arrHeap.push(s)
+		}
+	}
+	if e.multi {
+		e.frozenScratch = make([]sim.Time, len(e.stations))
+		e.heardScratch = make([]bool, len(e.stations))
+		e.clusterScratch = make([]bool, len(e.stations))
 	}
 	return e, nil
 }
@@ -383,43 +492,52 @@ func (e *Engine) Now() sim.Time { return e.now }
 // including the head-of-line frame.
 func (e *Engine) QueueLen(s int) int { return e.stations[s].queueLen() }
 
-// pump moves every arrival with At <= now into the station's queue.
-func (s *station) pump(now sim.Time) {
-	for s.next < len(s.arrivals) && s.arrivals[s.next].At <= now {
-		a := s.arrivals[s.next]
-		s.next++
-		f := &Frame{
-			ID:      int64(s.id)<<40 | s.frameSeq,
-			Station: s.id,
-			Size:    a.Size,
-			Probe:   a.Probe,
-			Index:   a.Index,
-			Arrived: a.At,
-		}
+// pumpStation moves every due arrival of s into its queue, maintaining
+// the active-station counter. The caller owns s's heap membership.
+func (e *Engine) pumpStation(s *station, now sim.Time) {
+	wasActive := s.active()
+	for s.hasPending && s.pending.At <= now {
+		a := s.pending
+		f := e.arena.next()
+		f.ID = int64(s.id)<<40 | s.frameSeq
+		f.Station = s.id
+		f.Size = a.Size
+		f.Probe = a.Probe
+		f.Index = a.Index
+		f.Arrived = a.At
 		s.frameSeq++
 		if s.queueLen() == 0 {
 			f.HOL = a.At
 		}
 		s.queue = append(s.queue, f)
+		s.advancePending()
+	}
+	if !wasActive && s.active() {
+		e.nActive++
 	}
 }
 
 // pumpArrivals moves every arrival with At <= now into its queue.
 func (e *Engine) pumpArrivals(now sim.Time) {
-	for _, s := range e.stations {
-		s.pump(now)
+	for {
+		s := e.arrHeap.min()
+		if s == nil || s.pending.At > now {
+			return
+		}
+		e.arrHeap.popMin()
+		e.pumpStation(s, now)
+		if s.hasPending {
+			e.arrHeap.push(s)
+		}
 	}
 }
 
 // nextArrival returns the earliest pending arrival time, or sim.MaxTime.
 func (e *Engine) nextArrival() sim.Time {
-	t := sim.MaxTime
-	for _, s := range e.stations {
-		if s.next < len(s.arrivals) && s.arrivals[s.next].At < t {
-			t = s.arrivals[s.next].At
-		}
+	if s := e.arrHeap.min(); s != nil {
+		return s.pending.At
 	}
-	return t
+	return sim.MaxTime
 }
 
 // drawBackoff draws a fresh backoff for s from [0, cw].
@@ -452,7 +570,7 @@ func (e *Engine) Run() *Result {
 		// Arrivals that landed while the medium was busy enter their
 		// queues without immediate-access rights (they must back off).
 		e.pumpArrivals(e.now)
-		if !e.anyBacklogOrCountdown() {
+		if e.nActive == 0 {
 			na := e.nextArrival()
 			if na == sim.MaxTime || na > horizon {
 				break
@@ -466,54 +584,53 @@ func (e *Engine) Run() *Result {
 		if !e.contend(horizon) {
 			break
 		}
+		if e.cfg.StopWhen != nil && e.cfg.StopWhen() {
+			break
+		}
 	}
 	e.res.End = e.now
 	return e.res
-}
-
-// anyBacklogOrCountdown reports whether any station holds a frame or is
-// counting down a post-backoff.
-func (e *Engine) anyBacklogOrCountdown() bool {
-	for _, s := range e.stations {
-		if s.queueLen() > 0 || (s.postBO && s.backoff >= 0) {
-			return true
-		}
-	}
-	return false
 }
 
 // contend resolves one idle period: it determines which station(s)
 // transmit next, processes the resulting success or collision, and
 // advances the clock past the busy period. It returns false when the
 // simulation should stop (horizon reached with nothing left to do).
+//
+// Every station's candidate transmission instant is computed exactly
+// once at the start of the idle period (the only point backoffs can
+// need drawing); afterwards the minimum is maintained incrementally as
+// arrivals are admitted, so the idle period costs O(stations + due
+// arrivals) instead of a full rescan per admitted arrival.
 func (e *Engine) contend(horizon sim.Time) bool {
 	p := e.phy
-	for {
-		// Candidate transmission instants for stations with an active
-		// countdown (frame pending or post-backoff).
-		txAt := sim.MaxTime
-		for _, s := range e.stations {
-			if s.backoff < 0 {
-				if s.hol() == nil {
-					continue
-				}
-				// Frame pending but no countdown: it became HOL while
-				// the medium was busy, or the station has no immediate
-				// access right. Draw a fresh backoff now.
-				s.drawBackoff()
-				s.postBO = false
+	// Candidate transmission instants for stations with an active
+	// countdown (frame pending or post-backoff). Stations that became
+	// backlogged while the medium was busy draw their backoff here, in
+	// station order — the draw order of the scan-driven engine.
+	txAt := sim.MaxTime
+	for _, s := range e.stations {
+		if s.backoff < 0 {
+			if s.hol() == nil {
+				continue
 			}
-			t := e.senseStart(s) + sim.Time(s.backoff)*p.Slot
-			if t < e.now {
-				// Immediate-access frames may have arrived after the
-				// DIFS-idle point: they transmit right away, i.e. now.
-				t = e.now
-			}
-			if t < txAt {
-				txAt = t
-			}
+			// Frame pending but no countdown: it became HOL while
+			// the medium was busy, or the station has no immediate
+			// access right. Draw a fresh backoff now.
+			s.drawBackoff()
+			s.postBO = false
 		}
-
+		t := e.senseStart(s) + sim.Time(s.backoff)*p.Slot
+		if t < e.now {
+			// Immediate-access frames may have arrived after the
+			// DIFS-idle point: they transmit right away, i.e. now.
+			t = e.now
+		}
+		if t < txAt {
+			txAt = t
+		}
+	}
+	for {
 		na := e.nextArrival()
 		if txAt == sim.MaxTime && na == sim.MaxTime {
 			return false
@@ -526,7 +643,9 @@ func (e *Engine) contend(horizon sim.Time) bool {
 				return false
 			}
 			e.now = na
-			e.admitIdleArrivals()
+			if c := e.admitIdleArrivals(); c < txAt {
+				txAt = c
+			}
 			continue
 		}
 		if txAt > horizon {
@@ -542,18 +661,44 @@ func (e *Engine) contend(horizon sim.Time) bool {
 // (zero backoff after DIFS sensing) to stations that were completely
 // idle — the 802.11 rule that a station sensing the medium idle for DIFS
 // transmits without backoff. This acceleration of early probe packets is
-// the mechanism behind the paper's transient (Section 4).
-func (e *Engine) admitIdleArrivals() {
-	for _, s := range e.stations {
+// the mechanism behind the paper's transient (Section 4). It returns
+// the earliest candidate transmission instant among the newly admitted
+// stations (sim.MaxTime when none gained a countdown), so contend can
+// maintain its minimum without rescanning.
+func (e *Engine) admitIdleArrivals() sim.Time {
+	// Collect the due stations, then process them in station order: the
+	// ablation path draws backoffs here, and draw order must match the
+	// scan-driven engine's station-order sweep.
+	adm := e.admitScratch[:0]
+	for {
+		s := e.arrHeap.min()
+		if s == nil || s.pending.At > e.now {
+			break
+		}
+		e.arrHeap.popMin()
+		adm = append(adm, s)
+	}
+	for i := 1; i < len(adm); i++ { // insertion sort by id; len is tiny
+		for j := i; j > 0 && adm[j].id < adm[j-1].id; j-- {
+			adm[j], adm[j-1] = adm[j-1], adm[j]
+		}
+	}
+	minCand := sim.MaxTime
+	p := e.phy
+	for _, s := range adm {
 		hadFrame := s.queueLen() > 0
 		counting := s.backoff >= 0
-		s.pump(e.now)
+		e.pumpStation(s, e.now)
+		if s.hasPending {
+			e.arrHeap.push(s)
+		}
 		if s.queueLen() == 0 || hadFrame {
 			continue
 		}
 		// Station just became backlogged.
 		if counting {
-			// Post-backoff countdown in progress: the frame inherits it.
+			// Post-backoff countdown in progress: the frame inherits it
+			// (its candidate instant is already accounted for).
 			s.postBO = false
 			continue
 		}
@@ -565,12 +710,21 @@ func (e *Engine) admitIdleArrivals() {
 			// Ablation mode: treat the idle arrival like any other and
 			// draw a full backoff.
 			s.drawBackoff()
-			continue
+		} else {
+			// Fully idle station: immediate access — transmit after DIFS
+			// with no backoff.
+			s.backoff = 0
 		}
-		// Fully idle station: immediate access — transmit after DIFS
-		// with no backoff.
-		s.backoff = 0
+		t := e.senseStart(s) + sim.Time(s.backoff)*p.Slot
+		if t < e.now {
+			t = e.now
+		}
+		if t < minCand {
+			minCand = t
+		}
 	}
+	e.admitScratch = adm[:0]
+	return minCand
 }
 
 // transmitAt advances the clock to txAt, decrements frozen counters, and
@@ -584,7 +738,7 @@ func (e *Engine) transmitAt(txAt sim.Time) {
 		return
 	}
 	p := e.phy
-	var winners []*station
+	winners := e.winnersScratch[:0]
 	for _, s := range e.stations {
 		if s.backoff < 0 {
 			continue
@@ -603,15 +757,18 @@ func (e *Engine) transmitAt(txAt sim.Time) {
 
 	// Post-backoff countdowns that expire with an empty queue simply end:
 	// the station returns to the fully idle state.
-	var tx []*station
+	tx := e.txScratch[:0]
 	for _, s := range winners {
 		if s.hol() == nil {
 			s.backoff = -1
 			s.postBO = false
+			e.nActive--
 			continue
 		}
 		tx = append(tx, s)
 	}
+	e.winnersScratch = winners[:0]
+	defer func() { e.txScratch = tx[:0] }()
 	if len(tx) == 0 {
 		return
 	}
@@ -697,7 +854,9 @@ func (e *Engine) deliver(s *station, f *Frame, txStart, dataEnd, exchEnd sim.Tim
 	if e.cfg.OnDepart != nil {
 		e.cfg.OnDepart(e, f)
 	}
-	e.res.Frames[s.id] = append(e.res.Frames[s.id], f)
+	if e.record[s.id] {
+		e.res.Frames[s.id] = append(e.res.Frames[s.id], f)
+	}
 }
 
 // phyFail handles a frame whose only impairment was the channel: the
@@ -798,13 +957,15 @@ func (e *Engine) collision(tx []*station) {
 	}
 	busyEnd := e.now + busy
 
-	colliding := make(map[int]bool, len(tx))
 	for _, s := range tx {
-		colliding[s.id] = true
+		s.inTx = true
 	}
 	for _, o := range e.stations {
-		o.eifs = !colliding[o.id]
+		o.eifs = !o.inTx
 		o.idleAt = busyEnd
+	}
+	for _, s := range tx {
+		s.inTx = false
 	}
 
 	for _, s := range tx {

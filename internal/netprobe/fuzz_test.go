@@ -6,9 +6,15 @@ import (
 	"testing"
 )
 
-// validHeaderBytes marshals a well-formed header for the seed corpus.
+// validHeaderBytes marshals a well-formed header for the seed corpus:
+// the returned datagram is size bytes long, matching its Size field,
+// as ParseHeader's length validation requires.
 func validHeaderBytes(session, seq, total, size uint32, sentNs int64) []byte {
-	b := make([]byte, HeaderLen)
+	n := int(size)
+	if n < HeaderLen {
+		n = HeaderLen
+	}
+	b := make([]byte, n)
 	Header{Magic: Magic, Session: session, Seq: seq, Total: total, SentNs: sentNs, Size: size}.Marshal(b)
 	return b
 }
@@ -42,10 +48,14 @@ func FuzzParseHeader(f *testing.F) {
 		if h.Total == 0 || h.Seq >= h.Total {
 			t.Fatalf("accepted bad seq %d/%d", h.Seq, h.Total)
 		}
+		if int64(h.Size) != int64(len(b)) {
+			t.Fatalf("accepted size field %d on %d-byte datagram", h.Size, len(b))
+		}
 		if want := binary.BigEndian.Uint32(b[8:]); h.Seq != want {
 			t.Fatalf("seq decoded as %d, wire says %d", h.Seq, want)
 		}
-		out := make([]byte, HeaderLen)
+		// Round trip through a datagram of the validated size.
+		out := make([]byte, h.Size)
 		h.Marshal(out)
 		h2, err := ParseHeader(out)
 		if err != nil {
@@ -54,7 +64,7 @@ func FuzzParseHeader(f *testing.F) {
 		if h2 != h {
 			t.Fatalf("round trip changed header: %+v vs %+v", h2, h)
 		}
-		if !bytes.Equal(out, b[:HeaderLen]) {
+		if !bytes.Equal(out[:HeaderLen], b[:HeaderLen]) {
 			t.Fatalf("re-marshal differs from wire bytes")
 		}
 	})

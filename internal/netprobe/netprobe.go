@@ -48,7 +48,11 @@ func (h Header) Marshal(b []byte) {
 	binary.BigEndian.PutUint32(b[24:], h.Size)
 }
 
-// ParseHeader decodes and validates a probe header.
+// ParseHeader decodes and validates a probe header. b must be the full
+// datagram: the header's Size field — the length the sender claims it
+// transmitted — is checked against the bytes that actually arrived, so
+// a truncated or padded datagram is rejected instead of silently
+// skewing the size-based rate estimate downstream.
 func ParseHeader(b []byte) (Header, error) {
 	if len(b) < HeaderLen {
 		return Header{}, fmt.Errorf("netprobe: packet too short (%d bytes)", len(b))
@@ -66,6 +70,9 @@ func ParseHeader(b []byte) (Header, error) {
 	}
 	if h.Total == 0 || h.Seq >= h.Total {
 		return Header{}, fmt.Errorf("netprobe: bad seq %d/%d", h.Seq, h.Total)
+	}
+	if int64(h.Size) != int64(len(b)) {
+		return Header{}, fmt.Errorf("netprobe: size field %d does not match datagram length %d", h.Size, len(b))
 	}
 	return h, nil
 }
@@ -191,13 +198,16 @@ func NewReceiver(conn net.PacketConn) *Receiver {
 var ErrTimeout = errors.New("netprobe: timed out waiting for train")
 
 // ReceiveTrain reads packets until a full train with the given session
-// id has arrived or the deadline passes. Packets from other sessions
-// are ignored. On timeout the partial report is returned along with
-// ErrTimeout.
+// id has arrived or the deadline passes. Packets from other sessions,
+// packets failing header validation, and duplicates of sequence numbers
+// already received are ignored — a UDP-duplicated datagram must not
+// complete a train that is still missing a distinct sequence number. On
+// timeout the partial report is returned along with ErrTimeout.
 func (r *Receiver) ReceiveTrain(session uint32, deadline time.Time) (*Report, error) {
 	buf := make([]byte, 65536)
 	rep := &Report{Session: session}
 	var recvs []Reception
+	var seen map[uint32]bool
 	for {
 		if err := r.conn.SetReadDeadline(deadline); err != nil {
 			return rep, err
@@ -215,10 +225,17 @@ func (r *Receiver) ReceiveTrain(session uint32, deadline time.Time) (*Report, er
 		if perr != nil || h.Session != session {
 			continue
 		}
-		recvs = append(recvs, Reception{Header: h, At: at, Len: n})
 		if rep.Expected == 0 {
 			rep.Expected = int(h.Total)
+			seen = make(map[uint32]bool, rep.Expected)
 		}
+		// Deduplicate by sequence number before testing completion:
+		// recvs holds one reception per distinct in-range Seq.
+		if int(h.Seq) >= rep.Expected || seen[h.Seq] {
+			continue
+		}
+		seen[h.Seq] = true
+		recvs = append(recvs, Reception{Header: h, At: at, Len: n})
 		if len(recvs) >= rep.Expected {
 			finishReport(rep, recvs)
 			return rep, nil
@@ -242,7 +259,14 @@ func finishReport(rep *Report, recvs []Reception) {
 		if int(rc.Header.Seq) < rep.Expected && rep.Arrivals[rc.Header.Seq].IsZero() {
 			rep.Arrivals[rc.Header.Seq] = rc.At
 			count++
-			size = rc.Len
+			// Every reception's Len was validated against its header's
+			// Size field at parse time. A probing train is fixed-size by
+			// construction; should a sender mix sizes anyway, the
+			// smallest keeps the dispersion estimate conservative
+			// (instead of whichever packet happened to be counted last).
+			if size == 0 || rc.Len < size {
+				size = rc.Len
+			}
 			if first.IsZero() || rc.At.Before(first) {
 				first = rc.At
 			}

@@ -9,7 +9,9 @@ import (
 
 func TestHeaderRoundTrip(t *testing.T) {
 	h := Header{Magic: Magic, Session: 7, Seq: 3, Total: 10, SentNs: 123456789, Size: 1500}
-	buf := make([]byte, HeaderLen)
+	// ParseHeader validates Size against the datagram length, so hand it
+	// the full-size datagram the sender would emit.
+	buf := make([]byte, h.Size)
 	h.Marshal(buf)
 	got, err := ParseHeader(buf)
 	if err != nil {
@@ -29,9 +31,11 @@ func TestParseHeaderErrors(t *testing.T) {
 		{"bad magic", func(h *Header) { h.Magic = 1 }, "magic"},
 		{"zero total", func(h *Header) { h.Total = 0 }, "seq"},
 		{"seq >= total", func(h *Header) { h.Seq = 10 }, "seq"},
+		{"size exceeds datagram", func(h *Header) { h.Size = HeaderLen + 1 }, "size"},
+		{"size below datagram", func(h *Header) { h.Size = HeaderLen - 1 }, "size"},
 	}
 	for _, tt := range tests {
-		h := Header{Magic: Magic, Session: 1, Seq: 0, Total: 10, Size: 100}
+		h := Header{Magic: Magic, Session: 1, Seq: 0, Total: 10, Size: HeaderLen}
 		tt.mut(&h)
 		buf := make([]byte, HeaderLen)
 		h.Marshal(buf)
@@ -234,5 +238,120 @@ func TestSendTrainInvalidSpec(t *testing.T) {
 	snd, _ := loopbackPair(t)
 	if _, err := snd.SendTrain(TrainSpec{N: 1, Size: 100}); err == nil {
 		t.Error("invalid spec accepted")
+	}
+}
+
+// sendRaw marshals and writes one probe datagram of the given length.
+func sendRaw(t *testing.T, snd *Sender, h Header, length int) {
+	t.Helper()
+	buf := make([]byte, length)
+	h.Marshal(buf)
+	if _, err := snd.conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReceiveTrainDeduplicatesSeq covers the UDP-duplication bug: a
+// duplicated datagram must not complete a train that is still missing a
+// distinct sequence number.
+func TestReceiveTrainDeduplicatesSeq(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	done := make(chan *Report, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rep, err := rcv.ReceiveTrain(11, time.Now().Add(400*time.Millisecond))
+		done <- rep
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// A 3-packet train where seq 0 is duplicated and seq 2 never sent:
+	// three datagrams arrive, but only two distinct sequence numbers.
+	h := Header{Magic: Magic, Session: 11, Total: 3, Size: 300}
+	h.Seq = 0
+	sendRaw(t, snd, h, 300)
+	sendRaw(t, snd, h, 300) // duplicate of seq 0
+	h.Seq = 1
+	sendRaw(t, snd, h, 300)
+	rep := <-done
+	if err := <-errc; err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout (duplicate must not complete the train)", err)
+	}
+	if rep.Received != 2 || rep.Lost != 1 {
+		t.Errorf("received %d lost %d, want 2/1", rep.Received, rep.Lost)
+	}
+}
+
+// TestReceiveTrainDeduplicatedComplete: with duplicates present, the
+// train still completes once every distinct sequence number arrives.
+func TestReceiveTrainDeduplicatedComplete(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	done := make(chan *Report, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rep, err := rcv.ReceiveTrain(12, time.Now().Add(3*time.Second))
+		done <- rep
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	h := Header{Magic: Magic, Session: 12, Total: 3, Size: 300}
+	for _, seq := range []uint32{0, 0, 1, 1, 2} {
+		h.Seq = seq
+		sendRaw(t, snd, h, 300)
+	}
+	rep := <-done
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if rep.Received != 3 || rep.Lost != 0 {
+		t.Errorf("received %d lost %d, want 3/0", rep.Received, rep.Lost)
+	}
+}
+
+// TestReceiveTrainRejectsMismatchedSize covers the Size-validation bug:
+// datagrams whose wire length disagrees with their header's Size field
+// are discarded rather than counted (and rather than polluting the
+// size-based rate estimate).
+func TestReceiveTrainRejectsMismatchedSize(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	done := make(chan *Report, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rep, err := rcv.ReceiveTrain(13, time.Now().Add(400*time.Millisecond))
+		done <- rep
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	h := Header{Magic: Magic, Session: 13, Total: 2, Size: 500}
+	h.Seq = 0
+	sendRaw(t, snd, h, 500) // honest packet
+	h.Seq = 1
+	sendRaw(t, snd, h, 400) // claims 500 bytes, carries 400: must be dropped
+	rep := <-done
+	if err := <-errc; err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout (truncated datagram must not count)", err)
+	}
+	if rep.Received != 1 {
+		t.Errorf("received %d, want 1", rep.Received)
+	}
+}
+
+// TestFinishReportConservativeSize: if mixed-size packets somehow form
+// one train (each self-consistent on the wire), the rate derives from
+// the smallest validated size, not whichever packet was counted last.
+func TestFinishReportConservativeSize(t *testing.T) {
+	base := time.Unix(2000, 0)
+	recvs := []Reception{
+		{Header: Header{Magic: Magic, Session: 1, Seq: 0, Total: 3, Size: 900}, At: base, Len: 900},
+		{Header: Header{Magic: Magic, Session: 1, Seq: 1, Total: 3, Size: 300}, At: base.Add(time.Millisecond), Len: 300},
+		{Header: Header{Magic: Magic, Session: 1, Seq: 2, Total: 3, Size: 900}, At: base.Add(2 * time.Millisecond), Len: 900},
+	}
+	rep := &Report{Session: 1, Expected: 3}
+	finishReport(rep, recvs)
+	if rep.Received != 3 {
+		t.Fatalf("received %d", rep.Received)
+	}
+	want := float64(300*8) / rep.OutputGap.Seconds()
+	if rep.RateBps != want {
+		t.Errorf("RateBps = %g, want %g (smallest validated size)", rep.RateBps, want)
 	}
 }

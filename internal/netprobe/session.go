@@ -74,21 +74,29 @@ func RunSession(s *Sender, r *Receiver, spec SessionSpec) (*SessionReport, error
 		err error
 	}
 	results := make(chan recvResult, spec.Trains)
+	// ready carries one token per train from the receiver goroutine,
+	// sent immediately before it arms for that train: an explicit
+	// handshake instead of the fixed sleep this code used to rely on,
+	// which raced the receiver's arming on a loaded machine and could
+	// drop the head of the first train. Buffered so the receiver never
+	// blocks on it if the sender bails out early.
+	ready := make(chan struct{}, spec.Trains)
 	go func() {
 		for t := 0; t < spec.Trains; t++ {
 			tr := spec.Train
 			tr.Session += uint32(t)
+			ready <- struct{}{}
 			deadline := time.Now().Add(spec.Timeout)
 			out, err := r.ReceiveTrain(tr.Session, deadline)
 			results <- recvResult{out, err}
 		}
 	}()
 
-	// Give the receiver a moment to arm before the first packet flies.
-	time.Sleep(10 * time.Millisecond)
 	for t := 0; t < spec.Trains; t++ {
 		tr := spec.Train
 		tr.Session += uint32(t)
+		// Wait for the receiver to be armed for this train.
+		<-ready
 		if _, err := s.SendTrain(tr); err != nil {
 			return rep, err
 		}

@@ -80,3 +80,29 @@ func TestRunSessionInvalidSpec(t *testing.T) {
 		t.Error("invalid session accepted")
 	}
 }
+
+// TestRunSessionHandshakeHeadPacket exercises the receiver-ready
+// handshake: with no arming sleep, every train — including the very
+// first — must keep its head packet (Seq 0). Before the handshake, a
+// loaded scheduler could let the sender race ahead of the receiver and
+// lose the train head. Run under -race in CI.
+func TestRunSessionHandshakeHeadPacket(t *testing.T) {
+	snd, rcv := loopbackPair(t)
+	spec := SessionSpec{
+		Train:   TrainSpec{N: 4, Gap: 200 * time.Microsecond, Size: 300, Session: 700},
+		Trains:  5,
+		Timeout: 2 * time.Second,
+	}
+	rep, err := RunSession(snd, rcv, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != spec.Trains {
+		t.Fatalf("completed %d/%d trains", rep.Completed, spec.Trains)
+	}
+	for i, tr := range rep.PerTrain {
+		if tr.Arrivals[0].IsZero() {
+			t.Errorf("train %d lost its head packet", i)
+		}
+	}
+}

@@ -49,13 +49,16 @@ type Flow struct {
 	PowerDB float64
 }
 
-// schedule realises the flow over [0, end).
-func (f Flow) schedule(r *sim.Rand, end sim.Time) []traffic.Arrival {
+// source realises the flow over [0, end) as a lazy pull-based
+// generator: arrivals are drawn only as the simulation consumes them,
+// so a replication that stops early never generates the tail. The draw
+// order is identical to the eager schedules the engine used to take.
+func (f Flow) source(r *sim.Rand, end sim.Time) traffic.Source {
 	if f.OnMean > 0 && f.OffMean > 0 {
 		duty := float64(f.OnMean) / float64(f.OnMean+f.OffMean)
-		return traffic.OnOff(r, f.RateBps/duty, f.Size, f.OnMean, f.OffMean, 0, end)
+		return traffic.NewOnOff(r, f.RateBps/duty, f.Size, f.OnMean, f.OffMean, 0, end)
 	}
-	return traffic.Poisson(r, f.RateBps, f.Size, 0, end)
+	return traffic.NewPoisson(r, f.RateBps, f.Size, 0, end)
 }
 
 // Link is the measured WLAN scenario.
@@ -143,6 +146,13 @@ type TrainSample struct {
 	// GO is the measured output gap (Eq. 16); 0 when fewer than two
 	// probe packets were delivered.
 	GO sim.Time
+	// Truncated marks a replication the simulation horizon cut short:
+	// at least one probe packet was neither delivered nor dropped by
+	// the retry limit when the run ended. A truncated train's missing
+	// tail is a measurement artifact, not a channel loss, so MeanGO
+	// excludes these replications instead of folding their shortened
+	// dispersion into E[gO] (which would bias GO under saturation).
+	Truncated bool
 }
 
 // TrainStats aggregates a set of replications of the same train.
@@ -170,11 +180,10 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 	drain := sim.Time(n)*gI + sim.Time(n)*40*sim.Millisecond + 200*sim.Millisecond
 	end := start + drain
 
-	probeSched := traffic.Train(n, gI, l.ProbeSize, start)
-	station0 := []([]traffic.Arrival){probeSched}
+	station0 := []traffic.Source{traffic.NewTrain(n, gI, l.ProbeSize, start)}
 	for fi, f := range l.FIFOCross {
 		station0 = append(station0,
-			f.schedule(r.Split(uint64(fi)+100), end))
+			f.source(r.Split(uint64(fi)+100), end))
 	}
 	cfg := mac.Config{
 		Phy:          l.Phy,
@@ -183,15 +192,15 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 		RTSThreshold: l.RTSThreshold,
 	}
 	cfg.Stations = append(cfg.Stations, mac.StationConfig{
-		Name:     "probe",
-		Arrivals: traffic.Merge(station0...),
-		PowerDB:  l.ProbePowerDB,
+		Name:    "probe",
+		Source:  traffic.MergeSources(station0...),
+		PowerDB: l.ProbePowerDB,
 	})
 	for ci, f := range l.Contenders {
 		cfg.Stations = append(cfg.Stations, mac.StationConfig{
-			Name:     fmt.Sprintf("contender-%d", ci),
-			Arrivals: f.schedule(r.Split(uint64(ci)+200), end),
-			PowerDB:  f.PowerDB,
+			Name:    fmt.Sprintf("contender-%d", ci),
+			Source:  f.source(r.Split(uint64(ci)+200), end),
+			PowerDB: f.PowerDB,
 		})
 	}
 	return cfg, end
@@ -251,6 +260,15 @@ func MeasureTrainOne(l Link, n int, rateBps float64, rep int) (TrainSample, erro
 // measureTrainOnce runs replication rep of the n-packet train. It is a
 // pure function of (l, n, gI, rep) — the determinism unit the worker
 // pool relies on.
+//
+// The run stops the instant the train is fully resolved — every probe
+// packet delivered or dropped by the retry limit — instead of grinding
+// the cross-traffic through the rest of the drain horizon. Everything
+// the sample reads happens before that instant, so the measured values
+// are identical to a full-horizon run; only the wasted tail is cut.
+// Cross-traffic stations' frames are not retained at all (the sample
+// never reads them), and a run that hits the horizon with unresolved
+// probes is flagged Truncated.
 func (l Link) measureTrainOnce(n int, gI sim.Time, rep int64) (TrainSample, error) {
 	cfg, end := l.scenario(n, gI, rep)
 	sample := TrainSample{
@@ -261,14 +279,29 @@ func (l Link) measureTrainOnce(n int, gI sim.Time, rep int64) (TrainSample, erro
 		sample.Departures[i] = -1
 		sample.AccessDelays[i] = -1
 	}
-	if len(l.Contenders) > 0 {
+	resolved := 0
+	wantQueue := len(l.Contenders) > 0
+	if wantQueue {
 		sample.QueueAtDepart = make([]float64, 0, n)
-		cfg.OnDepart = func(e *mac.Engine, f *mac.Frame) {
-			if f.Probe {
-				sample.QueueAtDepart = append(sample.QueueAtDepart, float64(e.QueueLen(1)))
-			}
+	}
+	cfg.OnDepart = func(e *mac.Engine, f *mac.Frame) {
+		if !f.Probe {
+			return
+		}
+		if wantQueue {
+			sample.QueueAtDepart = append(sample.QueueAtDepart, float64(e.QueueLen(1)))
+		}
+		if f.Index >= 0 && f.Index < n {
+			resolved++
 		}
 	}
+	cfg.OnEvent = func(ev mac.Event) {
+		if ev.Kind == mac.EvDrop && ev.Probe && ev.Index >= 0 && ev.Index < n {
+			resolved++
+		}
+	}
+	cfg.StopWhen = func() bool { return resolved >= n }
+	cfg.RecordFrames = func(station int) bool { return station == 0 }
 	cfg.Horizon = end
 	res, err := mac.Run(cfg)
 	if err != nil {
@@ -280,6 +313,7 @@ func (l Link) measureTrainOnce(n int, gI sim.Time, rep int64) (TrainSample, erro
 			sample.AccessDelays[f.Index] = f.AccessDelay().Seconds()
 		}
 	}
+	sample.Truncated = resolved < n
 	sample.GO = outputGap(sample.Departures)
 	return sample, nil
 }
@@ -305,10 +339,17 @@ func outputGap(deps []sim.Time) sim.Time {
 }
 
 // MeanGO returns the limiting-average output gap E[gO] in seconds over
-// all replications that delivered at least two probes.
+// all replications that delivered at least two probes. Replications the
+// simulation horizon truncated are excluded: their trains are missing a
+// tail the channel never had the chance to serve, and counting their
+// foreshortened dispersion as an ordinary measurement would bias E[gO]
+// (and therefore the inferred rate) under saturation.
 func (ts *TrainStats) MeanGO() float64 {
 	sum, n := 0.0, 0
 	for _, s := range ts.Samples {
+		if s.Truncated {
+			continue
+		}
 		if s.GO > 0 {
 			sum += s.GO.Seconds()
 			n++
@@ -419,11 +460,10 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 	start := l.WarmUp
 	end := start + duration
 
-	probeSched := traffic.MarkProbe(traffic.CBR(rateBps, l.ProbeSize, start, end))
-	station0 := []([]traffic.Arrival){probeSched}
+	station0 := []traffic.Source{traffic.Marked(traffic.NewCBR(rateBps, l.ProbeSize, start, end))}
 	for fi, f := range l.FIFOCross {
 		station0 = append(station0,
-			f.schedule(r.Split(uint64(fi)+100), end))
+			f.source(r.Split(uint64(fi)+100), end))
 	}
 	cfg := mac.Config{
 		Phy:          l.Phy,
@@ -433,15 +473,15 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 		RTSThreshold: l.RTSThreshold,
 	}
 	cfg.Stations = append(cfg.Stations, mac.StationConfig{
-		Name:     "probe",
-		Arrivals: traffic.Merge(station0...),
-		PowerDB:  l.ProbePowerDB,
+		Name:    "probe",
+		Source:  traffic.MergeSources(station0...),
+		PowerDB: l.ProbePowerDB,
 	})
 	for ci, f := range l.Contenders {
 		cfg.Stations = append(cfg.Stations, mac.StationConfig{
-			Name:     fmt.Sprintf("contender-%d", ci),
-			Arrivals: f.schedule(r.Split(uint64(ci)+200), end),
-			PowerDB:  f.PowerDB,
+			Name:    fmt.Sprintf("contender-%d", ci),
+			Source:  f.source(r.Split(uint64(ci)+200), end),
+			PowerDB: f.PowerDB,
 		})
 	}
 	res, err := mac.Run(cfg)

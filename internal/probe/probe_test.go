@@ -346,3 +346,55 @@ func TestDeterministicAcrossCalls(t *testing.T) {
 		}
 	}
 }
+
+// TestTruncatedTrainDetection forces the simulation horizon to cut a
+// train short: FIFO cross-traffic far above the link capacity floods
+// the probing station's own queue, so the probes sit behind an
+// ever-growing backlog and are neither delivered nor dropped when the
+// run ends. Such replications must be flagged Truncated — they are
+// horizon artifacts, not channel drops — and excluded from MeanGO.
+func TestTruncatedTrainDetection(t *testing.T) {
+	l := Link{
+		WarmUp:    10 * sim.Millisecond,
+		FIFOCross: []Flow{{RateBps: 50e6, Size: 1500}},
+		Seed:      31,
+	}
+	ts, err := MeasureTrain(l, 5, 8e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := 0
+	for _, s := range ts.Samples {
+		if s.Truncated {
+			truncated++
+		}
+	}
+	if truncated == 0 {
+		t.Fatal("no replication flagged Truncated with the probe queue flooded by over-capacity FIFO cross-traffic")
+	}
+	// Truncated replications carry no usable dispersion: MeanGO must
+	// not read their GO values.
+	forged := &TrainStats{L: 1500, Samples: []TrainSample{
+		{GO: 2 * sim.Millisecond},
+		{GO: 100 * sim.Millisecond, Truncated: true},
+	}}
+	if got, want := forged.MeanGO(), (2 * sim.Millisecond).Seconds(); got != want {
+		t.Fatalf("MeanGO = %g, want %g (truncated sample must be excluded)", got, want)
+	}
+}
+
+// TestTrainNotTruncatedNormally: ordinary scenarios resolve every probe
+// well inside the horizon and must not be flagged.
+func TestTrainNotTruncatedNormally(t *testing.T) {
+	l := quietLink(5)
+	l.Contenders = []Flow{{RateBps: 4e6, Size: 1500}}
+	ts, err := MeasureTrain(l, 30, 5e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range ts.Samples {
+		if s.Truncated {
+			t.Errorf("replication %d flagged Truncated in a benign scenario", r)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // KSResult is the outcome of a two-sample Kolmogorov–Smirnov comparison.
@@ -41,10 +40,22 @@ func ksCritical(n, m int, alpha float64) float64 {
 // KSTwoSample runs the classical two-sample KS test on raw step ECDFs at
 // significance alpha (0.10, 0.05, or 0.01).
 func KSTwoSample(a, b []float64, alpha float64) KSResult {
-	if len(a) == 0 || len(b) == 0 {
+	if len(b) == 0 {
 		panic("stats: KS test on empty sample")
 	}
-	ea, eb := NewECDF(a), NewECDF(b)
+	return KSTwoSampleECDF(a, NewECDF(b), alpha)
+}
+
+// KSTwoSampleECDF is KSTwoSample with the second sample supplied as a
+// pre-built ECDF, for callers that test many samples against one
+// reference pool (the per-packet-index sweeps of Figs. 8 and 9): the
+// pool is sorted once instead of once per test. The result is
+// identical to KSTwoSample on the pool's raw values.
+func KSTwoSampleECDF(a []float64, eb *ECDF, alpha float64) KSResult {
+	if len(a) == 0 || eb.Len() == 0 {
+		panic("stats: KS test on empty sample")
+	}
+	ea := NewECDF(a)
 	d := 0.0
 	for _, x := range ea.sorted {
 		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
@@ -60,7 +71,7 @@ func KSTwoSample(a, b []float64, alpha float64) KSResult {
 			d = v
 		}
 	}
-	return KSResult{D: d, Threshold: ksCritical(len(a), len(b), alpha)}
+	return KSResult{D: d, Threshold: ksCritical(len(a), eb.Len(), alpha)}
 }
 
 // KSTwoSampleInterp runs the two-sample KS test with sample a converted
@@ -70,19 +81,36 @@ func KSTwoSample(a, b []float64, alpha float64) KSResult {
 // convert one of them to a continuous one using linear interpolation").
 // The supremum is evaluated at the jump points of both samples.
 func KSTwoSampleInterp(a, b []float64, alpha float64) KSResult {
-	if len(a) == 0 || len(b) == 0 {
+	if len(b) == 0 {
 		panic("stats: KS test on empty sample")
 	}
-	ea, eb := NewECDF(a), NewECDF(b)
-	pts := make([]float64, 0, len(a)+len(b))
-	pts = append(pts, ea.sorted...)
-	pts = append(pts, eb.sorted...)
-	sort.Float64s(pts)
+	return KSTwoSampleInterpECDF(a, NewECDF(b), alpha)
+}
+
+// KSTwoSampleInterpECDF is KSTwoSampleInterp with the second sample
+// supplied as a pre-built ECDF (see KSTwoSampleECDF). The two sorted
+// jump-point sets are merged linearly instead of re-sorting their
+// concatenation; the evaluated point set — and therefore the supremum —
+// is identical.
+func KSTwoSampleInterpECDF(a []float64, eb *ECDF, alpha float64) KSResult {
+	if len(a) == 0 || eb.Len() == 0 {
+		panic("stats: KS test on empty sample")
+	}
+	ea := NewECDF(a)
 	d := 0.0
-	for _, x := range pts {
+	ai, bi := 0, 0
+	for ai < len(ea.sorted) || bi < len(eb.sorted) {
+		var x float64
+		if bi >= len(eb.sorted) || (ai < len(ea.sorted) && ea.sorted[ai] <= eb.sorted[bi]) {
+			x = ea.sorted[ai]
+			ai++
+		} else {
+			x = eb.sorted[bi]
+			bi++
+		}
 		if v := math.Abs(ea.AtInterpolated(x) - eb.At(x)); v > d {
 			d = v
 		}
 	}
-	return KSResult{D: d, Threshold: ksCritical(len(a), len(b), alpha)}
+	return KSResult{D: d, Threshold: ksCritical(len(a), eb.Len(), alpha)}
 }

@@ -1,0 +1,97 @@
+// Command benchguard compares a freshly generated BENCH_runner.json
+// against the committed baseline and fails when any figure's
+// replication throughput regressed beyond the tolerance band. It is the
+// CI tripwire for the replication engine's headline metric: a change
+// that silently halves reps/sec on a dense figure fails the build
+// instead of landing unnoticed.
+//
+//	go run ./scripts/benchguard -baseline BENCH_baseline.json -current BENCH_runner.json -tolerance 0.5
+//
+// Tolerance is the permitted fractional drop: 0.5 passes anything above
+// half the baseline throughput, a deliberately wide band because shared
+// CI runners jitter heavily. Figures present in only one file are
+// reported but never fail the run (new figures appear, scaling sweeps
+// change worker counts).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	WallSeconds        float64 `json:"wall_seconds"`
+	Replications       int     `json:"replications"`
+	ReplicationsPerSec float64 `json:"replications_per_sec"`
+	Workers            int     `json:"workers"`
+}
+
+func load(path string) (map[string]record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]record
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// regressions returns a line per figure whose current throughput fell
+// below (1-tolerance) times the baseline.
+func regressions(baseline, current map[string]record, tolerance float64) []string {
+	var out []string
+	for id, base := range baseline {
+		cur, ok := current[id]
+		if !ok || base.ReplicationsPerSec <= 0 {
+			continue
+		}
+		floor := base.ReplicationsPerSec * (1 - tolerance)
+		if cur.ReplicationsPerSec < floor {
+			out = append(out, fmt.Sprintf("%s: %.1f reps/s, below floor %.1f (baseline %.1f, tolerance %.0f%%)",
+				id, cur.ReplicationsPerSec, floor, base.ReplicationsPerSec, tolerance*100))
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_runner.json baseline")
+	currentPath := flag.String("current", "BENCH_runner.json", "freshly generated telemetry")
+	tolerance := flag.Float64("tolerance", 0.5, "permitted fractional reps/sec drop before failing")
+	flag.Parse()
+	if *baselinePath == "" || *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintln(os.Stderr, "benchguard: need -baseline and 0 <= -tolerance < 1")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	for id := range baseline {
+		if _, ok := current[id]; !ok {
+			fmt.Printf("benchguard: note: %s present in baseline only\n", id)
+		}
+	}
+	for id := range current {
+		if _, ok := baseline[id]; !ok {
+			fmt.Printf("benchguard: note: %s present in current only\n", id)
+		}
+	}
+	if regs := regressions(baseline, current, *tolerance); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d figures within %.0f%% of baseline\n", len(baseline), *tolerance*100)
+}

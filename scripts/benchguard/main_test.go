@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegressions(t *testing.T) {
+	baseline := map[string]record{
+		"fig06": {ReplicationsPerSec: 1000},
+		"fig07": {ReplicationsPerSec: 1000},
+		"gone":  {ReplicationsPerSec: 500},
+		"zero":  {ReplicationsPerSec: 0},
+	}
+	current := map[string]record{
+		"fig06": {ReplicationsPerSec: 600},  // above the 50% floor
+		"fig07": {ReplicationsPerSec: 400},  // regression
+		"new":   {ReplicationsPerSec: 9999}, // no baseline: ignored
+		"zero":  {ReplicationsPerSec: 1},    // zero baseline: ignored
+	}
+	regs := regressions(baseline, current, 0.5)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0], "fig07:") {
+		t.Fatalf("regressions = %v, want exactly fig07", regs)
+	}
+	if regs := regressions(baseline, current, 0.7); len(regs) != 0 {
+		t.Fatalf("wide tolerance still flags: %v", regs)
+	}
+}
