@@ -287,6 +287,46 @@ func BenchmarkHiddenTerminal(b *testing.B) {
 	b.ReportMetric(rts.Y[last]-hidden.Y[last], "rts_recovery_Mbps")
 }
 
+func BenchmarkEDCATransient(b *testing.B) {
+	fig := runFigure(b, "edca-transient")
+	// Headline: the priority spread — how much higher the background
+	// category's late-train mean access delay sits above voice's,
+	// averaged over the last quarter of packet indices.
+	tail := func(s experiments.Series) float64 {
+		n := len(s.Y) / 4
+		if n == 0 {
+			n = 1
+		}
+		sum := 0.0
+		for _, y := range s.Y[len(s.Y)-n:] {
+			sum += y
+		}
+		return sum / float64(n)
+	}
+	series := func(name string) experiments.Series {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		b.Fatalf("no series %q in %s", name, fig.ID)
+		return experiments.Series{}
+	}
+	vo, bk := series("probe AC_VO"), series("probe AC_BK")
+	b.ReportMetric(tail(bk)-tail(vo), "bk_vs_vo_delay_ms")
+}
+
+func BenchmarkRateAnomaly(b *testing.B) {
+	fig := runFigure(b, "rate-anomaly")
+	train, steady := fig.Series[0], fig.Series[1]
+	last := len(train.Y) - 1
+	// Headlines: the anomaly itself (how far the 1 Mb/s contender drags
+	// the probe's carried share below the homogeneous cell's) and the
+	// dispersion bias at the slow end (train estimate minus reality).
+	b.ReportMetric(steady.Y[0]-steady.Y[last], "anomaly_drag_Mbps")
+	b.ReportMetric(train.Y[last]-steady.Y[last], "slow_train_bias_Mbps")
+}
+
 // BenchmarkRunnerScaling sweeps the replication engine's worker count
 // on a paper-style transient run (Fig. 6 scenario). On a 4+-core
 // machine the workers=4 case should complete the same work ≥3× faster

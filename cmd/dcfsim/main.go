@@ -16,15 +16,20 @@
 // at the common receiver in relative dB, consumed by the -capture rule
 // (default 0 — equal powers, so no frame can capture).
 //
-// Flags -phy (b11|b11short|g54), -rts (RTS/CTS threshold in bytes) and
-// -seed complete the scenario. The channel is configurable: -fer/-ber
-// apply a frame/bit error model, -topology mesh|hidden|chain selects
-// the station hearing graph (hidden terminals collide at the receiver
-// without ever sensing each other), and -capture sets the receiver
-// capture threshold in dB. With -reps N the scenario is replicated
-// N times on -workers goroutines — each replication drawing its traffic
-// from an independent RNG substream — and the table reports per-station
-// means across replications.
+// Flags -phy (b11|b11short|g54|a54), -rts (RTS/CTS threshold in bytes)
+// and -seed complete the scenario. The channel is configurable:
+// -fer/-ber apply a frame/bit error model, -topology mesh|hidden|chain
+// selects the station hearing graph (hidden terminals collide at the
+// receiver without ever sensing each other), and -capture sets the
+// receiver capture threshold in dB. The stations are configurable too:
+// -ac assigns 802.11e EDCA access categories (comma-separated per
+// station, or one value for all — "-ac vo,bk" pits a voice queue
+// against background bulk) and -rates assigns per-station data rates
+// in Mb/s ("-rates 11,1" reproduces the 802.11 rate anomaly: the slow
+// sender drags everyone toward its own throughput). With -reps N the
+// scenario is replicated N times on -workers goroutines — each
+// replication drawing its traffic from an independent RNG substream —
+// and the table reports per-station means across replications.
 package main
 
 import (
@@ -91,8 +96,10 @@ func phyFor(name string) (phy.Params, error) {
 		return phy.B11Short(), nil
 	case "g54":
 		return phy.G54(), nil
+	case "a54":
+		return phy.A54(), nil
 	}
-	return phy.Params{}, fmt.Errorf("unknown PHY %q (b11|b11short|g54)", name)
+	return phy.Params{}, fmt.Errorf("unknown PHY %q (b11|b11short|g54|a54)", name)
 }
 
 // stationResult is one station's statistics from one replication.
@@ -118,6 +125,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for replications (0 = all cores)")
 	tracePath := flag.String("trace", "", "write a binary channel-event trace to this file (replication 0)")
 	chFlags := clikit.RegisterChannel(flag.CommandLine)
+	edcaFlags := clikit.RegisterEDCA(flag.CommandLine)
 	flag.Parse()
 
 	if len(specs) == 0 {
@@ -144,12 +152,25 @@ func main() {
 		tw = trace.NewWriter(traceFile)
 	}
 
+	// EDCA/rate heterogeneity resolves once, onto a template the
+	// replications copy station configs from.
+	edca := make([]mac.StationConfig, len(specs))
+	if err := edcaFlags.Apply(edca); err != nil {
+		clikit.Exitf(2, "%v", err)
+	}
+
 	// Each replication derives its traffic and engine seeds from an
 	// independent substream, so results are identical at any -workers.
 	root := sim.NewStream(*seed)
 	names := make([]string, len(specs))
 	for i, spec := range specs {
 		names[i] = fmt.Sprintf("sta%d(%s)", i, spec)
+		if edca[i].AC != phy.ACLegacy {
+			names[i] += "/" + edca[i].AC.String()
+		}
+		if edca[i].DataRate > 0 && edca[i].DataRate != p.DataRate {
+			names[i] += fmt.Sprintf("@%gM", edca[i].DataRate/1e6)
+		}
 	}
 	runOne := func(rep int) ([]stationResult, error) {
 		stream := root.Child(uint64(rep))
@@ -159,7 +180,10 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: names[i], Source: src, PowerDB: power})
+			cfg.Stations = append(cfg.Stations, mac.StationConfig{
+				Name: names[i], Source: src, PowerDB: power,
+				AC: edca[i].AC, EDCA: edca[i].EDCA, DataRate: edca[i].DataRate,
+			})
 		}
 		if rep == 0 && tw != nil {
 			hook, _ := tw.Hook()

@@ -75,7 +75,7 @@ func TestParseStationErrors(t *testing.T) {
 }
 
 func TestPhyFor(t *testing.T) {
-	for _, name := range []string{"b11", "b11short", "g54"} {
+	for _, name := range []string{"b11", "b11short", "g54", "a54"} {
 		p, err := phyFor(name)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)

@@ -4,11 +4,14 @@
 // Transient CSMA/CA Access Delays on Active Bandwidth Measurements"
 // (ACM IMC 2009):
 //
-//   - a discrete-event DCF simulator with per-packet access-delay
+//   - a discrete-event DCF/EDCA simulator with per-packet access-delay
 //     tracing (the paper's NS2 substitute), whose channel ranges from
 //     the paper's perfect single collision domain to lossy links
 //     (FER/BER error models), hidden-terminal topologies, receiver
-//     capture and RTS/CTS (internal/mac, internal/phy);
+//     capture and RTS/CTS, and whose stations range from the paper's
+//     homogeneous DCF cell to 802.11e access categories and
+//     heterogeneous per-station data rates (internal/mac,
+//     internal/phy);
 //   - dispersion-based probing (trains, packet pairs, long steady-state
 //     flows) over the simulated link;
 //   - the paper's analytical models — steady-state rate response
@@ -36,9 +39,10 @@
 //   - cmd/trains, cmd/transient, cmd/transitory and cmd/mser run the
 //     short-train, access-delay-transient, transient-duration and
 //     MSER-correction studies individually;
-//   - cmd/dcfsim is the general-purpose DCF scenario front end, with
-//     -reps for replicated runs and -fer/-ber/-topology/-capture for
-//     the imperfect-channel scenario space;
+//   - cmd/dcfsim is the general-purpose DCF/EDCA scenario front end,
+//     with -reps for replicated runs, -fer/-ber/-topology/-capture for
+//     the imperfect-channel scenario space, and -ac/-rates for
+//     per-station access categories and data rates;
 //   - cmd/packetpair, cmd/rrc and cmd/bwprobe cover packet-pair
 //     inference, rate-response fitting and live-network probing.
 //

@@ -19,10 +19,7 @@ import (
 func wlanHop(seed int64, crossBps float64) path.WLANHop {
 	h := path.WLANHop{Seed: seed}
 	if crossBps > 0 {
-		h.Contenders = append(h.Contenders, struct {
-			RateBps float64
-			Size    int
-		}{crossBps, 1500})
+		h.Contenders = append(h.Contenders, path.WLANContender{RateBps: crossBps, Size: 1500})
 	}
 	return h
 }

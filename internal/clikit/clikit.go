@@ -162,6 +162,67 @@ func (c *ChannelFlags) Channel(n int) (mac.Channel, error) {
 	return ch, nil
 }
 
+// EDCAFlags holds the heterogeneity knobs of the simulator front ends:
+// per-station 802.11e access categories and data rates. The zero value
+// of both flags is the homogeneous plain-DCF cell of the paper.
+type EDCAFlags struct {
+	ACs   string
+	Rates string
+}
+
+// RegisterEDCA installs the EDCA/heterogeneous-rate flags on fs and
+// returns the destination struct, populated after fs.Parse.
+func RegisterEDCA(fs *flag.FlagSet) *EDCAFlags {
+	e := &EDCAFlags{}
+	fs.StringVar(&e.ACs, "ac", "", "802.11e access categories, comma-separated per station (legacy|bk|be|vi|vo); a single value applies to every station")
+	fs.StringVar(&e.Rates, "rates", "", "data rates in Mb/s, comma-separated per station (0 = PHY rate); a single value applies to every station")
+	return e
+}
+
+// Apply resolves the comma lists onto the station configurations in
+// place: entry i configures station i, and a single-entry list
+// broadcasts to every station. Stations keep plain DCF and the PHY
+// rate where the flags are empty.
+func (e *EDCAFlags) Apply(stations []mac.StationConfig) error {
+	if e.ACs != "" {
+		parts := strings.Split(e.ACs, ",")
+		if len(parts) != 1 && len(parts) != len(stations) {
+			return fmt.Errorf("-ac lists %d categories for %d stations", len(parts), len(stations))
+		}
+		for i := range stations {
+			part := parts[0]
+			if len(parts) > 1 {
+				part = parts[i]
+			}
+			ac, err := phy.ParseAC(strings.TrimSpace(part))
+			if err != nil {
+				return err
+			}
+			stations[i].AC = ac
+		}
+	}
+	if e.Rates != "" {
+		vals, err := ParseFloats(e.Rates)
+		if err != nil {
+			return fmt.Errorf("-rates: %w", err)
+		}
+		if len(vals) != 1 && len(vals) != len(stations) {
+			return fmt.Errorf("-rates lists %d rates for %d stations", len(vals), len(stations))
+		}
+		for i := range stations {
+			v := vals[0]
+			if len(vals) > 1 {
+				v = vals[i]
+			}
+			if v < 0 {
+				return fmt.Errorf("-rates: negative rate %g", v)
+			}
+			stations[i].DataRate = v * 1e6
+		}
+	}
+	return nil
+}
+
 // Render renders the figure in the named format.
 func Render(fig *experiments.Figure, format string) (string, error) {
 	switch format {

@@ -1,0 +1,84 @@
+package clikit
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"csmabw/internal/mac"
+	"csmabw/internal/phy"
+)
+
+// TestEDCAFlagsApply covers the per-station and broadcast forms of the
+// -ac/-rates lists and their error paths.
+func TestEDCAFlagsApply(t *testing.T) {
+	parse := func(args ...string) (*EDCAFlags, error) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		e := RegisterEDCA(fs)
+		return e, fs.Parse(args)
+	}
+
+	e, err := parse("-ac", "vo,bk,be", "-rates", "11,1,5.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := make([]mac.StationConfig, 3)
+	if err := e.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	wantAC := []phy.AccessCategory{phy.ACVoice, phy.ACBackground, phy.ACBestEffort}
+	wantRate := []float64{11e6, 1e6, 5.5e6}
+	for i := range st {
+		if st[i].AC != wantAC[i] || st[i].DataRate != wantRate[i] {
+			t.Errorf("station %d: AC=%v rate=%g, want %v/%g", i, st[i].AC, st[i].DataRate, wantAC[i], wantRate[i])
+		}
+	}
+
+	// Single values broadcast to every station.
+	e, _ = parse("-ac", "vi", "-rates", "2")
+	st = make([]mac.StationConfig, 4)
+	if err := e.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range st {
+		if st[i].AC != phy.ACVideo || st[i].DataRate != 2e6 {
+			t.Errorf("station %d: AC=%v rate=%g after broadcast", i, st[i].AC, st[i].DataRate)
+		}
+	}
+
+	// Empty flags leave the zero values (plain DCF, PHY rate).
+	e, _ = parse()
+	st = make([]mac.StationConfig, 2)
+	if err := e.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range st {
+		if st[i].AC != phy.ACLegacy || st[i].DataRate != 0 {
+			t.Errorf("station %d modified by empty flags: %+v", i, st[i])
+		}
+	}
+
+	bad := []struct {
+		args []string
+		n    int
+		frag string
+	}{
+		{[]string{"-ac", "vo,bk"}, 3, "2 categories for 3 stations"},
+		{[]string{"-ac", "warp"}, 2, "unknown access category"},
+		{[]string{"-rates", "11,1"}, 3, "2 rates for 3 stations"},
+		{[]string{"-rates", "x"}, 2, "bad list entry"},
+		{[]string{"-rates", "-4"}, 1, "negative rate"},
+	}
+	for _, tc := range bad {
+		e, err := parse(tc.args...)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", tc.args, err)
+		}
+		err = e.Apply(make([]mac.StationConfig, tc.n))
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%v on %d stations: got %v, want error with %q", tc.args, tc.n, err, tc.frag)
+		}
+	}
+}

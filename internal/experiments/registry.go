@@ -43,6 +43,10 @@ func Registry() []struct {
 		{"fer-rrc", func(sc Scale) (*Figure, error) { return FERRateResponse(DefaultFERRRC(), sc) }},
 		{"fer-transient", func(sc Scale) (*Figure, error) { return FERTransient(DefaultFERTransient(), sc) }},
 		{"hidden", func(sc Scale) (*Figure, error) { return HiddenTerminal(DefaultHidden(), sc) }},
+		// Heterogeneous-cell extensions: 802.11e EDCA access categories
+		// and per-station data rates (the performance anomaly).
+		{"edca-transient", func(sc Scale) (*Figure, error) { return EDCATransient(DefaultEDCATransient(), sc) }},
+		{"rate-anomaly", func(sc Scale) (*Figure, error) { return RateAnomaly(DefaultRateAnomaly(), sc) }},
 	}
 }
 

@@ -53,9 +53,9 @@ func (e *Engine) newClusterEntry(s *station, start sim.Time) *clusterEntry {
 		ctsEnd := rtsEnd + p.SIFS + p.CTSTxTime()
 		en.airEnd = rtsEnd
 		en.vulnEnd = ctsEnd
-		en.dataEnd = ctsEnd + p.SIFS + p.DataTxTime(f.Size)
+		en.dataEnd = ctsEnd + p.SIFS + e.dataTxTime(s, f.Size)
 	} else {
-		en.airEnd = start + p.DataTxTime(f.Size)
+		en.airEnd = start + e.dataTxTime(s, f.Size)
 		en.dataEnd = en.airEnd
 		en.vulnEnd = en.airEnd
 	}
@@ -260,19 +260,19 @@ func (e *Engine) transmitCluster(txAt sim.Time) {
 			st.Attempts++
 			if e.cfg.OnEvent != nil {
 				e.cfg.OnEvent(Event{At: en.start, Kind: EvTxStart, Station: s.id,
-					Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+					Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 			}
 			if en.corrupted {
 				st.ChannelErrors++
 				if e.cfg.OnEvent != nil {
 					e.cfg.OnEvent(Event{At: en.dataEnd, Kind: EvPhyError, Station: s.id,
-						Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+						Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 				}
 			} else {
 				st.Collisions++
 				if e.cfg.OnEvent != nil {
 					e.cfg.OnEvent(Event{At: en.start, Kind: EvCollision, Station: s.id,
-						Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+						Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 				}
 			}
 			e.retryFail(s, end)

@@ -159,31 +159,57 @@ func TestSourceOrderViolationPanics(t *testing.T) {
 	_ = err
 }
 
-// TestHotPathAllocBound pins the engine's per-frame allocation budget.
-// The scan-driven engine allocated at least one Frame per arrival plus
+// hotScenarioEDCA is hotScenario with the EDCA knobs engaged: mixed
+// access categories (including a TXOP-bursting one) and a
+// heterogeneous data rate, so the alloc bound also pins the EDCA hot
+// path — AIFS sensing, per-station windows, TXOP bursts and
+// per-station airtimes.
+func hotScenarioEDCA(seed int64) Config {
+	cfg := hotScenario(seed, true)
+	cfg.Stations[0].AC = phy.ACVideo
+	cfg.Stations[1].AC = phy.ACBestEffort
+	cfg.Stations[1].DataRate = 5.5e6
+	return cfg
+}
+
+// TestHotPathAllocBound pins the engine's per-frame allocation budget,
+// for plain DCF and for an EDCA configuration alike. The scan-driven
+// engine allocated at least one Frame per arrival plus
 // winner/collision bookkeeping per busy period (thousands of
 // allocations in this scenario); the arena-and-scratch core must stay
 // under a small fraction of a frame's worth each.
 func TestHotPathAllocBound(t *testing.T) {
-	var delivered int
-	allocs := testing.AllocsPerRun(3, func() {
-		res, err := Run(hotScenario(7, true))
-		if err != nil {
-			t.Fatal(err)
-		}
-		delivered = 0
-		for _, st := range res.Stats {
-			delivered += st.Delivered
-		}
-	})
-	if delivered < 1000 {
-		t.Fatalf("scenario too small to be meaningful: %d delivered", delivered)
+	cases := []struct {
+		name  string
+		build func(seed int64) Config
+	}{
+		{"dcf", func(seed int64) Config { return hotScenario(seed, true) }},
+		{"edca", hotScenarioEDCA},
 	}
-	// Budget: engine setup + arena blocks + slice growth, but nothing
-	// per frame. One tenth of an allocation per delivered frame leaves
-	// room for result-slice growth while failing any per-frame design.
-	if max := float64(delivered) / 10; allocs > max {
-		t.Fatalf("%.0f allocations for %d delivered frames (budget %.0f)", allocs, delivered, max)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var delivered int
+			allocs := testing.AllocsPerRun(3, func() {
+				res, err := Run(tc.build(7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				delivered = 0
+				for _, st := range res.Stats {
+					delivered += st.Delivered
+				}
+			})
+			if delivered < 1000 {
+				t.Fatalf("scenario too small to be meaningful: %d delivered", delivered)
+			}
+			// Budget: engine setup + arena blocks + slice growth, but
+			// nothing per frame. One tenth of an allocation per delivered
+			// frame leaves room for result-slice growth while failing any
+			// per-frame design.
+			if max := float64(delivered) / 10; allocs > max {
+				t.Fatalf("%.0f allocations for %d delivered frames (budget %.0f)", allocs, delivered, max)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,52 @@
+package mac_test
+
+import (
+	"fmt"
+
+	"csmabw/internal/mac"
+	"csmabw/internal/phy"
+	"csmabw/internal/sim"
+	"csmabw/internal/traffic"
+)
+
+// ExampleRun_edca runs an 802.11e cell: a voice-category station and a
+// background-category station offering the same load, plus a legacy
+// station stuck at the 1 Mb/s modulation rate. Below saturation every
+// queue carries its offered rate — EDCA differentiates *when* frames
+// go out, not whether: the voice queue's short AIFS and small
+// contention window cut its mean access delay well below the
+// background queue's, and the slow station pays its long airtimes on
+// top (the 802.11 rate anomaly every contender also suffers through
+// longer busy periods). A zero-value StationConfig — no AC, no EDCA
+// override, no DataRate — is plain DCF at the PHY rate, byte-identical
+// to the pre-EDCA engine.
+func ExampleRun_edca() {
+	end := 2 * sim.Second
+	load := func(bps float64) traffic.Source { return traffic.NewCBR(bps, 1500, 0, end) }
+	res, err := mac.Run(mac.Config{
+		Phy:     phy.B11(),
+		Seed:    1,
+		Horizon: end,
+		Stations: []mac.StationConfig{
+			{Name: "voice", AC: phy.ACVoice, Source: load(1.2e6)},
+			{Name: "bulk", AC: phy.ACBackground, Source: load(1.2e6)},
+			{Name: "slow", DataRate: 1e6, Source: load(0.5e6)},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, name := range []string{"voice", "bulk", "slow"} {
+		var sum float64
+		for _, f := range res.Frames[i] {
+			sum += f.AccessDelay().Seconds()
+		}
+		mean := sum / float64(len(res.Frames[i])) * 1e3
+		fmt.Printf("%s: %.2f Mb/s carried, %.1fms mean access delay\n",
+			name, res.Throughput(i, 0, end)/1e6, mean)
+	}
+	// Output:
+	// voice: 1.20 Mb/s carried, 5.9ms mean access delay
+	// bulk: 1.18 Mb/s carried, 9.3ms mean access delay
+	// slow: 0.50 Mb/s carried, 18.1ms mean access delay
+}

@@ -4,6 +4,16 @@
 // exchanges, post-backoff, immediate channel access, optional RTS/CTS,
 // and collisions between overlapping transmissions at the receiver.
 //
+// Stations need not be homogeneous. Each StationConfig can select an
+// 802.11e EDCA access category (AC, resolved against the base PHY's
+// parameter table: AIFS sensing, the category's CWmin/CWmax, TXOP
+// bursting) or an explicit EDCAParams override, and a per-station
+// data rate for heterogeneous-rate cells — the 802.11 rate anomaly,
+// where a slow sender's long airtimes drag every contender's
+// throughput toward its own. The zero-value knobs are plain DCF at
+// the PHY rate, byte-identical (RNG draw order included) to the
+// pre-EDCA engine.
+//
 // The channel is configurable. The zero-value Channel reproduces the
 // paper's validation appendix exactly — a single perfect collision
 // domain (NS2 2.29 conditions: no propagation errors, no capture, no
@@ -107,6 +117,24 @@ type StationConfig struct {
 	// Loss overrides Channel.Loss for frames this station transmits,
 	// giving each uplink of the star its own error rate.
 	Loss *phy.ErrorModel
+
+	// AC selects the station's 802.11e EDCA access category, resolved
+	// against the base PHY's default parameter table (phy.Params.EDCA):
+	// AIFS sensing instead of DIFS, the category's CWmin/CWmax, and
+	// TXOP bursting for the categories that have a limit. The zero
+	// value, phy.ACLegacy, is plain DCF — byte-identical behaviour,
+	// including RNG draw order, to the pre-EDCA engine.
+	AC phy.AccessCategory
+	// EDCA, when non-nil, overrides the table tuple entirely, for
+	// scenarios that tune AIFSN/CW/TXOP beyond the standard defaults.
+	// AC still labels the station's frames in events and traces.
+	EDCA *phy.EDCAParams
+	// DataRate is the modulation rate of this station's data frames in
+	// bit/s, for heterogeneous-rate cells: a slow sender occupies the
+	// medium longer per frame, dragging every contender's throughput
+	// toward its own (the 802.11 rate anomaly). Zero means the PHY's
+	// DataRate. Control frames always use the PHY's basic rate.
+	DataRate float64
 }
 
 // Channel describes the propagation environment between the stations
@@ -221,6 +249,10 @@ type Event struct {
 	Probe   bool
 	Index   int // probe index or -1
 	Retries int
+	// AC is the transmitting station's 802.11e access category
+	// (phy.ACLegacy for plain DCF stations), so trace analysis can
+	// aggregate outcomes per contention class.
+	AC phy.AccessCategory
 }
 
 // StationStats aggregates per-station outcomes.
@@ -310,6 +342,18 @@ type station struct {
 	loss     phy.ErrorModel // resolved error model for this station's uplink
 	rng      *sim.Rand
 	frameSeq int64
+
+	// EDCA state, resolved once at engine construction. For a
+	// zero-value station configuration these reproduce plain DCF
+	// exactly: aifs = DIFS, eifsT = EIFS, cwMin/cwMax = the PHY's,
+	// txop = 0 and rate = the PHY's DataRate.
+	ac    phy.AccessCategory
+	aifs  sim.Time // arbitration inter-frame space (DIFS for legacy)
+	eifsT sim.Time // extended IFS after an undecodable frame
+	cwMin int
+	cwMax int
+	txop  sim.Time // TXOP limit; 0 = one frame per contention win
+	rate  float64  // data-frame modulation rate, bit/s
 
 	inTx bool // scratch flag for collision bookkeeping
 }
@@ -439,17 +483,20 @@ func New(cfg Config) (*Engine, error) {
 				e.lossy = true
 			}
 		}
-		e.stations = append(e.stations, &station{
+		s := &station{
 			id:      i,
 			name:    sc.Name,
 			src:     src,
 			heapIdx: -1,
-			cw:      cfg.Phy.CWMin,
 			backoff: -1,
 			power:   sc.PowerDB,
 			loss:    loss,
 			rng:     base.Split(uint64(i) + 1),
-		})
+		}
+		if err := e.resolveEDCA(s, sc); err != nil {
+			return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+		}
+		e.stations = append(e.stations, s)
 	}
 	// Derived after the station loop so the stations' substreams stay
 	// identical to the pre-extension engine.
@@ -475,6 +522,66 @@ func New(cfg Config) (*Engine, error) {
 		e.clusterScratch = make([]bool, len(e.stations))
 	}
 	return e, nil
+}
+
+// resolveEDCA fixes the station's contention parameters and data rate
+// from its configuration. A zero-value configuration (ACLegacy, no
+// override, no rate) resolves to exactly the pre-EDCA DCF constants —
+// the PHY's DIFS/EIFS and window bounds — so default scenarios stay
+// byte-identical; anything else resolves against the 802.11e table
+// (or the explicit EDCA override).
+func (e *Engine) resolveEDCA(s *station, sc StationConfig) error {
+	p := e.phy
+	if !sc.AC.Valid() {
+		return fmt.Errorf("invalid access category %v", sc.AC)
+	}
+	s.ac = sc.AC
+	var edca phy.EDCAParams
+	switch {
+	case sc.EDCA != nil:
+		edca = *sc.EDCA
+	default:
+		edca = p.EDCA(sc.AC)
+	}
+	if err := edca.Validate(); err != nil {
+		return err
+	}
+	if sc.EDCA == nil && sc.AC == phy.ACLegacy {
+		// Plain DCF: take the PHY's own DIFS/EIFS rather than
+		// recomputing them from AIFSN, so custom Params whose DIFS is
+		// not SIFS+2*Slot keep their exact pre-EDCA timing.
+		s.aifs = p.DIFS
+		s.eifsT = p.EIFS()
+	} else {
+		s.aifs = edca.AIFS(p)
+		s.eifsT = p.SIFS + p.ACKTxTime() + s.aifs
+	}
+	s.cwMin = edca.CWMin
+	s.cwMax = edca.CWMax
+	s.txop = edca.TXOPLimit
+	s.cw = s.cwMin
+	if s.txop > 0 && e.multi {
+		// The busy-cluster engine resolves one overlapping cluster at a
+		// time; modelling a multi-frame TXOP inside a cluster of hidden
+		// transmitters is out of scope, so reject rather than silently
+		// ignore the limit.
+		return fmt.Errorf("TXOP limit %v unsupported with a hidden-station topology", s.txop)
+	}
+	if sc.DataRate < 0 {
+		return fmt.Errorf("negative data rate %g", sc.DataRate)
+	}
+	s.rate = sc.DataRate
+	if s.rate == 0 {
+		s.rate = p.DataRate
+	}
+	return nil
+}
+
+// dataTxTime is the airtime of a data frame from station s — the
+// per-station form of phy.Params.DataTxTime for heterogeneous-rate
+// cells.
+func (e *Engine) dataTxTime(s *station, payload int) sim.Time {
+	return e.phy.DataTxTimeAt(payload, s.rate)
 }
 
 // hears reports whether station a senses station b's transmissions.
@@ -544,19 +651,22 @@ func (e *Engine) nextArrival() sim.Time {
 func (s *station) drawBackoff() { s.backoff = s.rng.Intn(s.cw + 1) }
 
 // senseStart computes the station's IFS end for the current idle
-// period: the inter-frame space (DIFS normally, EIFS after observing an
-// undecodable frame) counted from whichever is later — the instant the
-// medium went idle, or the instant the station itself started sensing
-// (its frame's arrival, for stations that were fully idle).
+// period: the inter-frame space (the station's AIFS normally — DIFS for
+// legacy DCF — or its EIFS after observing an undecodable frame)
+// counted from whichever is later — the instant the medium went idle,
+// or the instant the station itself started sensing (its frame's
+// arrival, for stations that were fully idle). Per-station AIFS is the
+// heart of EDCA: a high-priority queue starts its countdown slots
+// before a low-priority one after every busy period.
 func (e *Engine) senseStart(s *station) sim.Time {
 	base := s.idleAt
 	if s.senseFrom > base {
 		base = s.senseFrom
 	}
 	if s.eifs {
-		return base + e.phy.EIFS()
+		return base + s.eifsT
 	}
-	return base + e.phy.DIFS
+	return base + s.aifs
 }
 
 // Run executes the scenario to completion and returns the result.
@@ -798,7 +908,7 @@ func (e *Engine) success(s *station) {
 	if e.usesRTS(f) {
 		dataStart += p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS
 	}
-	dataEnd := dataStart + p.DataTxTime(f.Size)
+	dataEnd := dataStart + e.dataTxTime(s, f.Size)
 	if e.lossy && e.chrng.Float64() < s.loss.FrameErrorProb(f.Size) {
 		e.phyFail(s, f, dataEnd)
 		return
@@ -812,6 +922,51 @@ func (e *Engine) success(s *station) {
 		o.eifs = false
 	}
 	e.deliver(s, f, txStart, dataEnd, exchEnd, false)
+	if s.txop > 0 {
+		e.txopBurst(s, txStart)
+	}
+}
+
+// txopBurst continues station s's transmit opportunity after the frame
+// that won contention was delivered (the clock stands at that frame's
+// ACK end): the 802.11e TXOP rule lets the winner send further
+// already-queued frames back-to-back — SIFS-separated, each
+// individually acknowledged — as long as the whole burst, from the
+// contention win at txopStart to the last ACK, fits inside the
+// station's TXOP limit. The frame that won contention always
+// transmits, limit or not, matching the standard's allowance for a
+// single frame per opportunity. Frames arriving mid-burst do not join
+// it (they contend normally afterwards), burst continuations never use
+// RTS/CTS (the opportunity is already protected by the initial
+// exchange), and a frame the channel corrupts ends the opportunity
+// with the ordinary retry bookkeeping. Captured wins do not burst:
+// the overlapping losers' airtime makes the medium state too murky to
+// extend the opportunity over.
+func (e *Engine) txopBurst(s *station, txopStart sim.Time) {
+	p := e.phy
+	for {
+		f := s.hol()
+		if f == nil {
+			return
+		}
+		txStart := e.now + p.SIFS
+		dataEnd := txStart + e.dataTxTime(s, f.Size)
+		exchEnd := dataEnd + p.SIFS + p.ACKTxTime()
+		if exchEnd-txopStart > s.txop {
+			return
+		}
+		if e.lossy && e.chrng.Float64() < s.loss.FrameErrorProb(f.Size) {
+			e.now = txStart
+			e.phyFail(s, f, dataEnd)
+			return
+		}
+		e.now = exchEnd
+		for _, o := range e.stations {
+			o.idleAt = exchEnd
+			o.eifs = false
+		}
+		e.deliver(s, f, txStart, dataEnd, exchEnd, false)
+	}
 }
 
 // deliver applies the shared successful-exchange bookkeeping — the
@@ -827,9 +982,9 @@ func (e *Engine) deliver(s *station, f *Frame, txStart, dataEnd, exchEnd sim.Tim
 	f.Retries = s.retries
 	if e.cfg.OnEvent != nil {
 		e.cfg.OnEvent(Event{At: txStart, Kind: EvTxStart, Station: s.id,
-			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 		e.cfg.OnEvent(Event{At: dataEnd, Kind: EvSuccess, Station: s.id,
-			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 	}
 
 	st := &e.res.Stats[s.id]
@@ -840,7 +995,7 @@ func (e *Engine) deliver(s *station, f *Frame, txStart, dataEnd, exchEnd sim.Tim
 	}
 	st.PayloadBits += int64(f.Size) * 8
 
-	s.cw = e.phy.CWMin
+	s.cw = s.cwMin
 	s.retries = 0
 	s.eifs = false
 	if nf := s.hol(); nf != nil {
@@ -871,9 +1026,9 @@ func (e *Engine) phyFail(s *station, f *Frame, dataEnd sim.Time) {
 	st.ChannelErrors++
 	if e.cfg.OnEvent != nil {
 		e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
-			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 		e.cfg.OnEvent(Event{At: dataEnd, Kind: EvPhyError, Station: s.id,
-			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+			Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 	}
 	for _, o := range e.stations {
 		o.idleAt = dataEnd
@@ -897,10 +1052,10 @@ func (e *Engine) retryFail(s *station, at sim.Time) {
 		e.res.Stats[s.id].Dropped++
 		if e.cfg.OnEvent != nil {
 			e.cfg.OnEvent(Event{At: at, Kind: EvDrop, Station: s.id,
-				Size: df.Size, Probe: df.Probe, Index: df.Index, Retries: s.retries})
+				Size: df.Size, Probe: df.Probe, Index: df.Index, Retries: s.retries, AC: s.ac})
 		}
 		s.retries = 0
-		s.cw = p.CWMin
+		s.cw = s.cwMin
 		if nf := s.hol(); nf != nil {
 			nf.HOL = at
 			s.postBO = false
@@ -909,8 +1064,8 @@ func (e *Engine) retryFail(s *station, at sim.Time) {
 		}
 	} else {
 		s.cw = 2*(s.cw+1) - 1
-		if s.cw > p.CWMax {
-			s.cw = p.CWMax
+		if s.cw > s.cwMax {
+			s.cw = s.cwMax
 		}
 		s.postBO = false
 	}
@@ -939,7 +1094,7 @@ func (e *Engine) collision(tx []*station) {
 	var busy sim.Time
 	for _, s := range tx {
 		f := s.hol()
-		d := p.DataTxTime(f.Size)
+		d := e.dataTxTime(s, f.Size)
 		if e.usesRTS(f) {
 			d = p.RTSTxTime()
 		}
@@ -950,9 +1105,9 @@ func (e *Engine) collision(tx []*station) {
 		e.res.Stats[s.id].Collisions++
 		if e.cfg.OnEvent != nil {
 			e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
-				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 			e.cfg.OnEvent(Event{At: e.now, Kind: EvCollision, Station: s.id,
-				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 		}
 	}
 	busyEnd := e.now + busy
@@ -1009,7 +1164,7 @@ func (e *Engine) capturedCollision(w *station, tx []*station) {
 			continue
 		}
 		f := s.hol()
-		d := p.DataTxTime(f.Size)
+		d := e.dataTxTime(s, f.Size)
 		if e.usesRTS(f) {
 			d = p.RTSTxTime()
 		}
@@ -1020,9 +1175,9 @@ func (e *Engine) capturedCollision(w *station, tx []*station) {
 		e.res.Stats[s.id].Collisions++
 		if e.cfg.OnEvent != nil {
 			e.cfg.OnEvent(Event{At: e.now, Kind: EvTxStart, Station: s.id,
-				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 			e.cfg.OnEvent(Event{At: e.now, Kind: EvCollision, Station: s.id,
-				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries})
+				Size: f.Size, Probe: f.Probe, Index: f.Index, Retries: s.retries, AC: s.ac})
 		}
 	}
 
@@ -1031,7 +1186,7 @@ func (e *Engine) capturedCollision(w *station, tx []*station) {
 	if e.usesRTS(wf) {
 		dataStart += p.RTSTxTime() + p.SIFS + p.CTSTxTime() + p.SIFS
 	}
-	dataEnd := dataStart + p.DataTxTime(wf.Size)
+	dataEnd := dataStart + e.dataTxTime(w, wf.Size)
 	corrupted := e.lossy && e.chrng.Float64() < w.loss.FrameErrorProb(wf.Size)
 	start := e.now
 
@@ -1045,9 +1200,9 @@ func (e *Engine) capturedCollision(w *station, tx []*station) {
 		e.res.Stats[w.id].ChannelErrors++
 		if e.cfg.OnEvent != nil {
 			e.cfg.OnEvent(Event{At: start, Kind: EvTxStart, Station: w.id,
-				Size: wf.Size, Probe: wf.Probe, Index: wf.Index, Retries: w.retries})
+				Size: wf.Size, Probe: wf.Probe, Index: wf.Index, Retries: w.retries, AC: w.ac})
 			e.cfg.OnEvent(Event{At: dataEnd, Kind: EvPhyError, Station: w.id,
-				Size: wf.Size, Probe: wf.Probe, Index: wf.Index, Retries: w.retries})
+				Size: wf.Size, Probe: wf.Probe, Index: wf.Index, Retries: w.retries, AC: w.ac})
 		}
 		for _, o := range e.stations {
 			o.eifs = true

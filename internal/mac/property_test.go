@@ -42,6 +42,7 @@ func randomConfig(r *sim.Rand, horizon sim.Time) Config {
 		cfg.DisableImmediateAccess = true
 	}
 	sizes := []int{40, 576, 1000, 1500}
+	multi := cfg.Channel.Topology != nil && !cfg.Channel.Topology.IsFullMesh()
 	for i := 0; i < n; i++ {
 		rate := (0.5 + r.Float64()*5) * 1e6
 		sc := StationConfig{
@@ -51,6 +52,20 @@ func randomConfig(r *sim.Rand, horizon sim.Time) Config {
 		if r.Intn(4) == 0 {
 			override := phy.ErrorModel{FER: r.Float64() * 0.2}
 			sc.Loss = &override
+		}
+		// EDCA knobs: any category without a TXOP limit is always legal;
+		// the TXOP-bearing ones (AC_VI/AC_VO) only on a full mesh, where
+		// the single-domain engine handles bursting.
+		switch r.Intn(3) {
+		case 0:
+			sc.AC = []phy.AccessCategory{phy.ACBackground, phy.ACBestEffort}[r.Intn(2)]
+		case 1:
+			if !multi {
+				sc.AC = []phy.AccessCategory{phy.ACVideo, phy.ACVoice}[r.Intn(2)]
+			}
+		}
+		if r.Intn(3) == 0 {
+			sc.DataRate = []float64{1e6, 2e6, 5.5e6, 11e6}[r.Intn(4)]
 		}
 		cfg.Stations = append(cfg.Stations, sc)
 	}

@@ -109,22 +109,40 @@ func (h FIFOHop) Transit(arrivals []traffic.Arrival, rep int64) ([]traffic.Arriv
 	return out, nil
 }
 
+// WLANContender describes one contending cross-traffic station on a
+// WLANHop: a Poisson flow at RateBps with fixed Size-byte packets,
+// optionally on an 802.11e access category and a non-default data
+// rate, so a multi-hop path can contain a heterogeneous cell.
+type WLANContender struct {
+	RateBps float64
+	Size    int
+	// AC is the station's 802.11e access category; the zero value is
+	// plain DCF.
+	AC phy.AccessCategory
+	// DataRateBps is the station's data-frame modulation rate in
+	// bit/s; 0 means the hop PHY's DataRate.
+	DataRateBps float64
+}
+
 // WLANHop is a CSMA/CA link: the transiting schedule is offered to one
 // DCF station contending with configured Poisson cross stations.
 type WLANHop struct {
 	Phy phy.Params // zero Name = 802.11b defaults
 	// Contenders on separate stations.
-	Contenders []struct {
-		RateBps float64
-		Size    int
-	}
-	Seed int64
+	Contenders []WLANContender
+	Seed       int64
 }
 
 // Name implements Hop.
 func (h WLANHop) Name() string { return "wlan" }
 
-// Transit implements Hop with the DCF engine.
+// Transit implements Hop with the DCF engine. The transiting schedule
+// and the hop-local cross flows feed the engine as lazy
+// traffic.Sources, and the run stops the instant the last transiting
+// frame resolves (delivered or dropped) — the cross traffic's tail is
+// never simulated, and only the transit station's frames are retained.
+// Both cuts are invisible in the output: everything the hop forwards
+// departed before the stop instant.
 func (h WLANHop) Transit(arrivals []traffic.Arrival, rep int64) ([]traffic.Arrival, error) {
 	p := h.Phy
 	if p.Name == "" {
@@ -138,14 +156,32 @@ func (h WLANHop) Transit(arrivals []traffic.Arrival, rep int64) ([]traffic.Arriv
 		end = arrivals[len(arrivals)-1].At + 2*sim.Second
 	}
 	cfg := mac.Config{Phy: p, Seed: h.Seed ^ (rep+1)*0x9e37}
-	cfg.Stations = append(cfg.Stations, mac.StationConfig{Name: "transit", Arrivals: arrivals})
+	cfg.Stations = append(cfg.Stations, mac.StationConfig{
+		Name:   "transit",
+		Source: traffic.FromSchedule(arrivals),
+	})
 	r := sim.NewRand(h.Seed).Split(uint64(rep) + 7)
 	for ci, c := range h.Contenders {
 		cfg.Stations = append(cfg.Stations, mac.StationConfig{
 			Name:     fmt.Sprintf("cross-%d", ci),
-			Arrivals: traffic.Poisson(r.Split(uint64(ci)), c.RateBps, c.Size, 0, end),
+			Source:   traffic.NewPoisson(r.Split(uint64(ci)), c.RateBps, c.Size, 0, end),
+			AC:       c.AC,
+			DataRate: c.DataRateBps,
 		})
 	}
+	resolved := 0
+	cfg.OnDepart = func(_ *mac.Engine, f *mac.Frame) {
+		if f.Station == 0 {
+			resolved++
+		}
+	}
+	cfg.OnEvent = func(ev mac.Event) {
+		if ev.Kind == mac.EvDrop && ev.Station == 0 {
+			resolved++
+		}
+	}
+	cfg.StopWhen = func() bool { return resolved >= len(arrivals) }
+	cfg.RecordFrames = func(station int) bool { return station == 0 }
 	res, err := mac.Run(cfg)
 	if err != nil {
 		return nil, err

@@ -109,10 +109,7 @@ func TestWLANHopTransit(t *testing.T) {
 func TestWLANHopContention(t *testing.T) {
 	quiet := WLANHop{Seed: 3}
 	busy := WLANHop{Seed: 3}
-	busy.Contenders = append(busy.Contenders, struct {
-		RateBps float64
-		Size    int
-	}{4e6, 1500})
+	busy.Contenders = append(busy.Contenders, WLANContender{RateBps: 4e6, Size: 1500})
 	tr := traffic.Train(20, sim.Millisecond, 1500, sim.Second)
 	a, err := quiet.Transit(tr, 0)
 	if err != nil {
@@ -194,14 +191,7 @@ func TestWiredPlusWLANMeasuresWLANShare(t *testing.T) {
 	wired := Path{Hops: []Hop{FIFOHop{CapacityBps: 8e6, Seed: 10}}}
 	mixed := Path{Hops: []Hop{
 		FIFOHop{CapacityBps: 8e6, Seed: 10},
-		func() WLANHop {
-			h := WLANHop{Seed: 11}
-			h.Contenders = append(h.Contenders, struct {
-				RateBps float64
-				Size    int
-			}{4e6, 1500})
-			return h
-		}(),
+		WLANHop{Seed: 11, Contenders: []WLANContender{{RateBps: 4e6, Size: 1500}}},
 	}}
 	gWired, err := wired.MeasureDispersion(20, 12e6, 1500, 10, 12)
 	if err != nil {

@@ -1,0 +1,170 @@
+package phy
+
+import (
+	"fmt"
+
+	"csmabw/internal/sim"
+)
+
+// AccessCategory names one of the 802.11e EDCA transmit queues. The
+// amendment replaces the single DCF contention machine with four
+// parallel ones, each tuned by an EDCAParams tuple (AIFSN, CWmin,
+// CWmax, TXOP limit) so that voice preempts video preempts best-effort
+// preempts background traffic statistically, without any central
+// scheduler — exactly the contention-level heterogeneity the paper's
+// homogeneous validation cell idealizes away.
+//
+// The zero value, ACLegacy, is not an 802.11e category: it selects the
+// plain DCF behaviour of the base PHY (DIFS sensing, the PHY's own
+// CWmin/CWmax, no TXOP), so a zero-valued station configuration is
+// byte-identical to the pre-EDCA engine.
+type AccessCategory uint8
+
+// The access categories, ordered from the legacy default through the
+// 802.11e priorities (lowest to highest).
+const (
+	// ACLegacy is plain DCF: DIFS, the PHY's CWmin/CWmax, no TXOP.
+	ACLegacy AccessCategory = iota
+	// ACBackground is AC_BK: bulk traffic, largest AIFS (AIFSN 7).
+	ACBackground
+	// ACBestEffort is AC_BE: default data traffic (AIFSN 3).
+	ACBestEffort
+	// ACVideo is AC_VI: halved contention window, TXOP bursting.
+	ACVideo
+	// ACVoice is AC_VO: quartered window, shortest TXOP, highest
+	// priority.
+	ACVoice
+)
+
+// String names the category with the 802.11e abbreviation.
+func (ac AccessCategory) String() string {
+	switch ac {
+	case ACLegacy:
+		return "legacy"
+	case ACBackground:
+		return "AC_BK"
+	case ACBestEffort:
+		return "AC_BE"
+	case ACVideo:
+		return "AC_VI"
+	case ACVoice:
+		return "AC_VO"
+	}
+	return fmt.Sprintf("AccessCategory(%d)", uint8(ac))
+}
+
+// Valid reports whether ac is one of the defined categories.
+func (ac AccessCategory) Valid() bool { return ac <= ACVoice }
+
+// EDCAParams is one EDCA parameter tuple: the per-queue contention
+// knobs of 802.11e (Table 8-106 of IEEE 802.11-2012).
+type EDCAParams struct {
+	// AIFSN is the arbitration inter-frame space number: the station
+	// senses AIFS = SIFS + AIFSN*Slot of idle medium before its
+	// countdown may run. Legacy DIFS corresponds to AIFSN 2; larger
+	// numbers deprioritize the queue.
+	AIFSN int
+	// CWMin and CWMax bound the queue's contention window (backoff is
+	// drawn uniformly from [0, CW], CW doubling from CWMin to CWMax on
+	// failure). High-priority categories shrink both.
+	CWMin, CWMax int
+	// TXOPLimit is the transmit-opportunity duration: once the queue
+	// wins contention it may send further queued frames back-to-back
+	// (SIFS-separated, each individually acknowledged) as long as the
+	// whole burst fits inside the limit. Zero means one frame per win —
+	// the DCF rule.
+	TXOPLimit sim.Time
+}
+
+// Validate reports a descriptive error when the tuple is internally
+// inconsistent.
+func (e EDCAParams) Validate() error {
+	switch {
+	case e.AIFSN < 1:
+		return fmt.Errorf("phy: EDCA AIFSN %d must be >= 1", e.AIFSN)
+	case e.CWMin < 1:
+		return fmt.Errorf("phy: EDCA CWMin %d must be >= 1", e.CWMin)
+	case e.CWMax < e.CWMin:
+		return fmt.Errorf("phy: EDCA CWMax %d below CWMin %d", e.CWMax, e.CWMin)
+	case e.TXOPLimit < 0:
+		return fmt.Errorf("phy: negative EDCA TXOP limit %v", e.TXOPLimit)
+	}
+	return nil
+}
+
+// AIFS converts the tuple's AIFSN to a duration under PHY p:
+// SIFS + AIFSN slot times.
+func (e EDCAParams) AIFS(p Params) sim.Time {
+	return p.SIFS + sim.Time(e.AIFSN)*p.Slot
+}
+
+// EDCA returns the default 802.11e parameter tuple of the access
+// category under this PHY, per Table 8-106 of IEEE 802.11-2012: the
+// CWmin/CWmax values derive from the PHY's aCWmin/aCWmax (so 802.11b
+// and 802.11a/g tables differ), and the TXOP limits depend on the
+// modulation family (6.016/3.264 ms for DSSS-CCK PHYs, 3.008/1.504 ms
+// for OFDM — see Params.OFDM).
+//
+// ACLegacy maps to plain DCF under the PHY: AIFSN 2 (= DIFS), the
+// PHY's own window bounds, and no TXOP.
+func (p Params) EDCA(ac AccessCategory) EDCAParams {
+	switch ac {
+	case ACBackground:
+		return EDCAParams{AIFSN: 7, CWMin: p.CWMin, CWMax: p.CWMax}
+	case ACBestEffort:
+		return EDCAParams{AIFSN: 3, CWMin: p.CWMin, CWMax: p.CWMax}
+	case ACVideo:
+		e := EDCAParams{AIFSN: 2, CWMin: (p.CWMin+1)/2 - 1, CWMax: p.CWMin}
+		if p.OFDM {
+			e.TXOPLimit = 3008 * sim.Microsecond
+		} else {
+			e.TXOPLimit = 6016 * sim.Microsecond
+		}
+		return e
+	case ACVoice:
+		e := EDCAParams{AIFSN: 2, CWMin: (p.CWMin+1)/4 - 1, CWMax: (p.CWMin+1)/2 - 1}
+		if p.OFDM {
+			e.TXOPLimit = 1504 * sim.Microsecond
+		} else {
+			e.TXOPLimit = 3264 * sim.Microsecond
+		}
+		return e
+	}
+	return EDCAParams{AIFSN: 2, CWMin: p.CWMin, CWMax: p.CWMax}
+}
+
+// ParseAC parses an access-category name: the 802.11e abbreviations
+// (bk, be, vi, vo, case-insensitively with or without the "AC_"
+// prefix), their long names (background, besteffort, video, voice),
+// or "legacy" / "" for plain DCF.
+func ParseAC(s string) (AccessCategory, error) {
+	switch normalizeAC(s) {
+	case "", "legacy", "dcf":
+		return ACLegacy, nil
+	case "bk", "background":
+		return ACBackground, nil
+	case "be", "besteffort":
+		return ACBestEffort, nil
+	case "vi", "video":
+		return ACVideo, nil
+	case "vo", "voice":
+		return ACVoice, nil
+	}
+	return ACLegacy, fmt.Errorf("phy: unknown access category %q (legacy|bk|be|vi|vo)", s)
+}
+
+// normalizeAC lower-cases s and strips an optional "ac_"/"ac-" prefix
+// without pulling in package strings for two trivial transforms.
+func normalizeAC(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	n := string(b)
+	if len(n) > 3 && n[:2] == "ac" && (n[2] == '_' || n[2] == '-') {
+		n = n[3:]
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+package phy
+
+import (
+	"strings"
+	"testing"
+
+	"csmabw/internal/sim"
+)
+
+// TestEDCATables pins the default 802.11e parameter tables against the
+// values of IEEE 802.11-2012 Table 8-106 for all three PHY families:
+// 802.11b (DSSS-CCK, aCWmin 31), 802.11g and 802.11a (OFDM, aCWmin 15).
+// CWmin/CWmax derive from the PHY's aCWmin/aCWmax; the TXOP limits
+// depend on the modulation family.
+func TestEDCATables(t *testing.T) {
+	cases := []struct {
+		phy  string
+		p    Params
+		ac   AccessCategory
+		want EDCAParams
+	}{
+		// 802.11b: aCWmin 31, aCWmax 1023, DSSS-CCK TXOP column.
+		{"b", B11(), ACBackground, EDCAParams{AIFSN: 7, CWMin: 31, CWMax: 1023}},
+		{"b", B11(), ACBestEffort, EDCAParams{AIFSN: 3, CWMin: 31, CWMax: 1023}},
+		{"b", B11(), ACVideo, EDCAParams{AIFSN: 2, CWMin: 15, CWMax: 31, TXOPLimit: 6016 * sim.Microsecond}},
+		{"b", B11(), ACVoice, EDCAParams{AIFSN: 2, CWMin: 7, CWMax: 15, TXOPLimit: 3264 * sim.Microsecond}},
+		{"b", B11(), ACLegacy, EDCAParams{AIFSN: 2, CWMin: 31, CWMax: 1023}},
+		// 802.11a: aCWmin 15, aCWmax 1023, OFDM TXOP column.
+		{"a", A54(), ACBackground, EDCAParams{AIFSN: 7, CWMin: 15, CWMax: 1023}},
+		{"a", A54(), ACBestEffort, EDCAParams{AIFSN: 3, CWMin: 15, CWMax: 1023}},
+		{"a", A54(), ACVideo, EDCAParams{AIFSN: 2, CWMin: 7, CWMax: 15, TXOPLimit: 3008 * sim.Microsecond}},
+		{"a", A54(), ACVoice, EDCAParams{AIFSN: 2, CWMin: 3, CWMax: 7, TXOPLimit: 1504 * sim.Microsecond}},
+		{"a", A54(), ACLegacy, EDCAParams{AIFSN: 2, CWMin: 15, CWMax: 1023}},
+		// 802.11g shares the OFDM column with 802.11a.
+		{"g", G54(), ACBackground, EDCAParams{AIFSN: 7, CWMin: 15, CWMax: 1023}},
+		{"g", G54(), ACBestEffort, EDCAParams{AIFSN: 3, CWMin: 15, CWMax: 1023}},
+		{"g", G54(), ACVideo, EDCAParams{AIFSN: 2, CWMin: 7, CWMax: 15, TXOPLimit: 3008 * sim.Microsecond}},
+		{"g", G54(), ACVoice, EDCAParams{AIFSN: 2, CWMin: 3, CWMax: 7, TXOPLimit: 1504 * sim.Microsecond}},
+		{"g", G54(), ACLegacy, EDCAParams{AIFSN: 2, CWMin: 15, CWMax: 1023}},
+	}
+	for _, tc := range cases {
+		got := tc.p.EDCA(tc.ac)
+		if got != tc.want {
+			t.Errorf("802.11%s %v: got %+v, want %+v", tc.phy, tc.ac, got, tc.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("802.11%s %v: table tuple invalid: %v", tc.phy, tc.ac, err)
+		}
+	}
+}
+
+// TestEDCALegacyMatchesDCF checks the table's ACLegacy row is plain DCF
+// under each PHY: AIFS equals DIFS and the window bounds are the PHY's.
+func TestEDCALegacyMatchesDCF(t *testing.T) {
+	for _, p := range []Params{B11(), B11Short(), G54(), A54()} {
+		e := p.EDCA(ACLegacy)
+		if got := e.AIFS(p); got != p.DIFS {
+			t.Errorf("%s: legacy AIFS %v != DIFS %v", p.Name, got, p.DIFS)
+		}
+		if e.CWMin != p.CWMin || e.CWMax != p.CWMax {
+			t.Errorf("%s: legacy window [%d,%d] != PHY [%d,%d]",
+				p.Name, e.CWMin, e.CWMax, p.CWMin, p.CWMax)
+		}
+		if e.TXOPLimit != 0 {
+			t.Errorf("%s: legacy TXOP %v, want 0", p.Name, e.TXOPLimit)
+		}
+	}
+}
+
+// TestAIFSOrdering checks the statistical priority mechanism: a
+// higher-priority category never senses longer than a lower one.
+func TestAIFSOrdering(t *testing.T) {
+	p := B11()
+	order := []AccessCategory{ACBackground, ACBestEffort, ACVideo, ACVoice}
+	for i := 1; i < len(order); i++ {
+		lo, hi := p.EDCA(order[i-1]), p.EDCA(order[i])
+		if hi.AIFS(p) > lo.AIFS(p) {
+			t.Errorf("%v AIFS %v exceeds %v AIFS %v", order[i], hi.AIFS(p), order[i-1], lo.AIFS(p))
+		}
+		if hi.CWMin > lo.CWMin {
+			t.Errorf("%v CWMin %d exceeds %v CWMin %d", order[i], hi.CWMin, order[i-1], lo.CWMin)
+		}
+	}
+}
+
+// TestEDCAParamsValidate exercises every rejection branch of the tuple
+// validator.
+func TestEDCAParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    EDCAParams
+		want string
+	}{
+		{"zero AIFSN", EDCAParams{AIFSN: 0, CWMin: 15, CWMax: 1023}, "AIFSN"},
+		{"zero CWMin", EDCAParams{AIFSN: 2, CWMin: 0, CWMax: 1023}, "CWMin"},
+		{"inverted window", EDCAParams{AIFSN: 2, CWMin: 31, CWMax: 15}, "CWMax"},
+		{"negative TXOP", EDCAParams{AIFSN: 2, CWMin: 15, CWMax: 1023, TXOPLimit: -1}, "TXOP"},
+	}
+	for _, tc := range cases {
+		err := tc.e.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (EDCAParams{AIFSN: 2, CWMin: 15, CWMax: 1023}).Validate(); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+}
+
+// TestParseAC covers the accepted spellings and the error path.
+func TestParseAC(t *testing.T) {
+	cases := []struct {
+		in   string
+		want AccessCategory
+	}{
+		{"", ACLegacy}, {"legacy", ACLegacy}, {"dcf", ACLegacy},
+		{"bk", ACBackground}, {"AC_BK", ACBackground}, {"background", ACBackground},
+		{"be", ACBestEffort}, {"ac-be", ACBestEffort}, {"BestEffort", ACBestEffort},
+		{"vi", ACVideo}, {"video", ACVideo},
+		{"vo", ACVoice}, {"VOICE", ACVoice}, {"AC_VO", ACVoice},
+	}
+	for _, tc := range cases {
+		got, err := ParseAC(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAC(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseAC("bulk"); err == nil {
+		t.Error("ParseAC accepted an unknown category")
+	}
+}
+
+// TestAccessCategoryString pins the 802.11e abbreviations used in
+// traces and experiment output.
+func TestAccessCategoryString(t *testing.T) {
+	want := map[AccessCategory]string{
+		ACLegacy: "legacy", ACBackground: "AC_BK", ACBestEffort: "AC_BE",
+		ACVideo: "AC_VI", ACVoice: "AC_VO",
+	}
+	for ac, s := range want {
+		if ac.String() != s {
+			t.Errorf("%d.String() = %q, want %q", ac, ac.String(), s)
+		}
+		if !ac.Valid() {
+			t.Errorf("%v not Valid()", ac)
+		}
+	}
+	if AccessCategory(9).Valid() {
+		t.Error("AccessCategory(9) reported Valid")
+	}
+	if s := AccessCategory(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+// TestDataTxTimeAt checks the heterogeneous-rate airtime helper: the
+// PHY's own rate reproduces DataTxTime exactly (the zero-value
+// contract), a slower rate stretches only the payload portion, and a
+// non-positive rate falls back to the PHY rate.
+func TestDataTxTimeAt(t *testing.T) {
+	p := B11()
+	if got, want := p.DataTxTimeAt(1500, p.DataRate), p.DataTxTime(1500); got != want {
+		t.Errorf("DataTxTimeAt(PHY rate) = %v, want %v", got, want)
+	}
+	if got, want := p.DataTxTimeAt(1500, 0), p.DataTxTime(1500); got != want {
+		t.Errorf("DataTxTimeAt(0) = %v, want %v", got, want)
+	}
+	slow := p.DataTxTimeAt(1500, 1e6)
+	if slow <= p.DataTxTime(1500) {
+		t.Errorf("1 Mb/s airtime %v not longer than 11 Mb/s %v", slow, p.DataTxTime(1500))
+	}
+	// Preamble is rate-independent: the payload portion scales exactly
+	// with the rate ratio.
+	wantPayload := sim.FromSeconds(float64((1500+MACHeaderBytes)*8) / 1e6)
+	if got := slow - p.Preamble; got != wantPayload {
+		t.Errorf("payload airtime %v, want %v", got, wantPayload)
+	}
+}

@@ -64,6 +64,10 @@ type Params struct {
 	// ACKAtDataRate transmits ACKs at DataRate instead of BasicRate
 	// (used by the ablation bench; real 802.11b uses the basic rate).
 	ACKAtDataRate bool
+	// OFDM marks an OFDM-family PHY (802.11a/g). It only selects which
+	// column of the 802.11e default TXOP-limit table applies — see
+	// Params.EDCA; DSSS-CCK PHYs (802.11b) get the longer limits.
+	OFDM bool
 }
 
 // B11 returns the 802.11b profile used throughout the paper's
@@ -107,6 +111,27 @@ func G54() Params {
 		Preamble:   20 * sim.Microsecond,
 		DataRate:   54e6,
 		BasicRate:  24e6,
+		OFDM:       true,
+	}
+}
+
+// A54 is a pure 802.11a profile: 54 Mb/s OFDM in the 5 GHz band, 9us
+// slots and 16us SIFS. Included so the 802.11e parameter tables can be
+// exercised across all three PHY families the amendment tabulates
+// (802.11b DSSS-CCK, 802.11g mixed, 802.11a OFDM).
+func A54() Params {
+	return Params{
+		Name:       "802.11a-54Mbps",
+		Slot:       9 * sim.Microsecond,
+		SIFS:       16 * sim.Microsecond,
+		DIFS:       34 * sim.Microsecond, // SIFS + 2*Slot
+		CWMin:      15,
+		CWMax:      1023,
+		RetryLimit: 7,
+		Preamble:   20 * sim.Microsecond,
+		DataRate:   54e6,
+		BasicRate:  24e6,
+		OFDM:       true,
 	}
 }
 
@@ -147,6 +172,18 @@ func (p Params) airtime(n int, rate float64) sim.Time {
 // of higher-layer data (the MAC header and FCS are added internally).
 func (p Params) DataTxTime(payload int) sim.Time {
 	return p.airtime(payload+MACHeaderBytes, p.DataRate)
+}
+
+// DataTxTimeAt is DataTxTime for a station transmitting its data
+// frames at a rate other than the cell-wide DataRate — the
+// heterogeneous-rate ("rate anomaly") scenarios, where a slow sender
+// occupies the medium longer for the same payload. Control frames and
+// the PLCP preamble are unaffected by the payload rate.
+func (p Params) DataTxTimeAt(payload int, rate float64) sim.Time {
+	if rate <= 0 {
+		rate = p.DataRate
+	}
+	return p.airtime(payload+MACHeaderBytes, rate)
 }
 
 // ACKTxTime returns the airtime of an ACK control frame.

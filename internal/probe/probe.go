@@ -14,9 +14,13 @@
 //
 // Beyond the paper's perfect-channel validation setup, a Link carries
 // the imperfect-channel knobs (Loss, Topology, CaptureDB and
-// RTSThreshold), so measurements run unchanged over lossy links and
-// hidden-terminal topologies; the zero values reproduce the paper's
-// single perfect collision domain exactly.
+// RTSThreshold) and the heterogeneity knobs (ProbeAC and
+// ProbeDataRateBps on the probing station, Flow.AC and
+// Flow.DataRateBps on each contender), so measurements run unchanged
+// over lossy links, hidden-terminal topologies, 802.11e EDCA cells and
+// mixed-rate cells; the zero values reproduce the paper's single
+// perfect collision domain with homogeneous plain-DCF stations
+// exactly.
 package probe
 
 import (
@@ -47,6 +51,14 @@ type Flow struct {
 	// CaptureDB). Meaningful for Contenders only; flows sharing the
 	// probe station's FIFO transmit at the probe station's power.
 	PowerDB float64
+	// AC is the sending station's 802.11e access category; the zero
+	// value is plain DCF. Meaningful for Contenders only: flows sharing
+	// the probe station's FIFO queue contend under Link.ProbeAC.
+	AC phy.AccessCategory
+	// DataRateBps is the sending station's data-frame modulation rate
+	// in bit/s for heterogeneous-rate cells (the 802.11 rate anomaly);
+	// 0 means the PHY's DataRate. Contenders only, like AC.
+	DataRateBps float64
 }
 
 // source realises the flow over [0, end) as a lazy pull-based
@@ -96,6 +108,17 @@ type Link struct {
 	// RTSThreshold enables the RTS/CTS handshake for payloads meeting
 	// it; 0 disables RTS/CTS (the paper's configuration).
 	RTSThreshold int
+	// ProbeAC is the probing station's 802.11e access category; the
+	// zero value is plain DCF, the paper's configuration. Probe packets
+	// and FIFO cross-traffic share one transmission queue, so they
+	// contend under this category together — the knob for asking how
+	// the access-delay transient and the dispersion estimate change
+	// when the probing flow is prioritized (or deprioritized) against
+	// its cross-traffic.
+	ProbeAC phy.AccessCategory
+	// ProbeDataRateBps is the probing station's data-frame modulation
+	// rate in bit/s; 0 means the PHY's DataRate.
+	ProbeDataRateBps float64
 	// Seed drives all randomness. Replication r uses an independent
 	// derived stream.
 	Seed int64
@@ -191,19 +214,34 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 		Channel:      l.channel(),
 		RTSThreshold: l.RTSThreshold,
 	}
-	cfg.Stations = append(cfg.Stations, mac.StationConfig{
-		Name:    "probe",
-		Source:  traffic.MergeSources(station0...),
-		PowerDB: l.ProbePowerDB,
-	})
+	cfg.Stations = l.stations(station0, r, end)
+	return cfg, end
+}
+
+// stations assembles the scenario's station list — the probing station
+// (probe and FIFO flows merged onto one FIFO queue) plus one station
+// per contender — applying the link's power, access-category and
+// data-rate knobs. Both the train and the steady-state scenarios build
+// their cells here, so a new Link or Flow knob cannot silently apply
+// to one measurement and not the other.
+func (l Link) stations(station0 []traffic.Source, r *sim.Rand, end sim.Time) []mac.StationConfig {
+	out := []mac.StationConfig{{
+		Name:     "probe",
+		Source:   traffic.MergeSources(station0...),
+		PowerDB:  l.ProbePowerDB,
+		AC:       l.ProbeAC,
+		DataRate: l.ProbeDataRateBps,
+	}}
 	for ci, f := range l.Contenders {
-		cfg.Stations = append(cfg.Stations, mac.StationConfig{
-			Name:    fmt.Sprintf("contender-%d", ci),
-			Source:  f.source(r.Split(uint64(ci)+200), end),
-			PowerDB: f.PowerDB,
+		out = append(out, mac.StationConfig{
+			Name:     fmt.Sprintf("contender-%d", ci),
+			Source:   f.source(r.Split(uint64(ci)+200), end),
+			PowerDB:  f.PowerDB,
+			AC:       f.AC,
+			DataRate: f.DataRateBps,
 		})
 	}
-	return cfg, end
+	return out
 }
 
 // MeasureTrain sends reps independent replications of an n-packet train
@@ -472,18 +510,7 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 		Channel:      l.channel(),
 		RTSThreshold: l.RTSThreshold,
 	}
-	cfg.Stations = append(cfg.Stations, mac.StationConfig{
-		Name:    "probe",
-		Source:  traffic.MergeSources(station0...),
-		PowerDB: l.ProbePowerDB,
-	})
-	for ci, f := range l.Contenders {
-		cfg.Stations = append(cfg.Stations, mac.StationConfig{
-			Name:    fmt.Sprintf("contender-%d", ci),
-			Source:  f.source(r.Split(uint64(ci)+200), end),
-			PowerDB: f.PowerDB,
-		})
-	}
+	cfg.Stations = l.stations(station0, r, end)
 	res, err := mac.Run(cfg)
 	if err != nil {
 		return nil, err

@@ -62,8 +62,11 @@ type Event struct {
 // eventHeap implements container/heap ordering events by (At, seq).
 type eventHeap []*Event
 
+// Len implements heap.Interface.
 func (h eventHeap) Len() int { return len(h) }
 
+// Less implements heap.Interface: earlier events first, schedule
+// order breaking ties.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
@@ -71,18 +74,21 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+// Swap implements heap.Interface, maintaining the events' indices.
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
 	h[j].idx = j
 }
 
+// Push implements heap.Interface.
 func (h *eventHeap) Push(x any) {
 	ev := x.(*Event)
 	ev.idx = len(*h)
 	*h = append(*h, ev)
 }
 
+// Pop implements heap.Interface.
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -13,12 +13,17 @@
 //	0       8     At (ns, int64)
 //	8       1     Kind
 //	9       1     Probe (0/1)
-//	10      2     reserved
+//	10      1     AC (802.11e access category; 0 = legacy DCF)
+//	11      1     reserved
 //	12      4     Station (int32)
 //	16      4     Size (int32)
 //	20      4     Index (int32)
 //	24      4     Retries (int32)
 //	28      4     reserved
+//
+// The AC byte was a reserved zero before the EDCA extension, so traces
+// recorded by earlier versions read back with every event on the
+// legacy category — exactly what their single-priority cells were.
 package trace
 
 import (
@@ -29,6 +34,7 @@ import (
 	"io"
 
 	"csmabw/internal/mac"
+	"csmabw/internal/phy"
 	"csmabw/internal/sim"
 )
 
@@ -69,6 +75,7 @@ func (tw *Writer) Write(ev mac.Event) error {
 	if ev.Probe {
 		rec[9] = 1
 	}
+	rec[10] = byte(ev.AC)
 	binary.LittleEndian.PutUint32(rec[12:], uint32(int32(ev.Station)))
 	binary.LittleEndian.PutUint32(rec[16:], uint32(int32(ev.Size)))
 	binary.LittleEndian.PutUint32(rec[20:], uint32(int32(ev.Index)))
@@ -146,6 +153,7 @@ func (tr *Reader) Next() (mac.Event, error) {
 		At:      sim.Time(binary.LittleEndian.Uint64(rec[0:])),
 		Kind:    mac.EventKind(rec[8]),
 		Probe:   rec[9] == 1,
+		AC:      phy.AccessCategory(rec[10]),
 		Station: int(int32(binary.LittleEndian.Uint32(rec[12:]))),
 		Size:    int(int32(binary.LittleEndian.Uint32(rec[16:]))),
 		Index:   int(int32(binary.LittleEndian.Uint32(rec[20:]))),
@@ -153,6 +161,9 @@ func (tr *Reader) Next() (mac.Event, error) {
 	}
 	if ev.Kind < mac.EvTxStart || ev.Kind > mac.EvPhyError {
 		return mac.Event{}, fmt.Errorf("trace: invalid event kind %d", ev.Kind)
+	}
+	if !ev.AC.Valid() {
+		return mac.Event{}, fmt.Errorf("trace: invalid access category %d", ev.AC)
 	}
 	return ev, nil
 }
@@ -185,14 +196,48 @@ type Summary struct {
 	ProbeDepartures []sim.Time
 	// PerStation maps station id -> delivered frame count.
 	PerStation map[int]int
+	// PerAC aggregates outcomes per 802.11e access category; a
+	// single-priority trace puts everything under phy.ACLegacy.
+	PerAC map[phy.AccessCategory]ACSummary
 	// PayloadBits delivered in total.
 	PayloadBits int64
+}
+
+// ACSummary is one access category's share of a trace: event counts
+// plus the summed service delay of its delivered frames — the span
+// from the winning transmission's start (EvTxStart) to the data
+// frame's complete delivery (EvSuccess). Comparing categories' mean
+// service delays and collision counts shows the contention-level
+// differentiation EDCA buys (or, for the legacy category, what the
+// probing flow paid on its last attempt).
+type ACSummary struct {
+	Successes    int
+	Collisions   int
+	Drops        int
+	PhyErrors    int
+	ServiceTotal sim.Time
+}
+
+// MeanService returns the category's mean per-delivery service delay,
+// or 0 when the category delivered nothing.
+func (a ACSummary) MeanService() sim.Time {
+	if a.Successes == 0 {
+		return 0
+	}
+	return a.ServiceTotal / sim.Time(a.Successes)
 }
 
 // Summarize scans a trace stream.
 func Summarize(r io.Reader) (*Summary, error) {
 	tr := NewReader(r)
-	s := &Summary{PerStation: map[int]int{}}
+	s := &Summary{
+		PerStation: map[int]int{},
+		PerAC:      map[phy.AccessCategory]ACSummary{},
+	}
+	// lastStart tracks each station's most recent transmission start:
+	// the matching EvSuccess closes the interval that measures the
+	// delivery's service delay.
+	lastStart := map[int]sim.Time{}
 	for {
 		ev, err := tr.Next()
 		if err == io.EOF {
@@ -202,7 +247,10 @@ func Summarize(r io.Reader) (*Summary, error) {
 			return s, err
 		}
 		s.Events++
+		ac := s.PerAC[ev.AC]
 		switch ev.Kind {
+		case mac.EvTxStart:
+			lastStart[ev.Station] = ev.At
 		case mac.EvSuccess:
 			s.Successes++
 			s.PerStation[ev.Station]++
@@ -210,12 +258,20 @@ func Summarize(r io.Reader) (*Summary, error) {
 			if ev.Probe {
 				s.ProbeDepartures = append(s.ProbeDepartures, ev.At)
 			}
+			ac.Successes++
+			if start, ok := lastStart[ev.Station]; ok && ev.At >= start {
+				ac.ServiceTotal += ev.At - start
+			}
 		case mac.EvCollision:
 			s.Collisions++
+			ac.Collisions++
 		case mac.EvDrop:
 			s.Drops++
+			ac.Drops++
 		case mac.EvPhyError:
 			s.PhyErrors++
+			ac.PhyErrors++
 		}
+		s.PerAC[ev.AC] = ac
 	}
 }

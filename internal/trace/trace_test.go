@@ -13,9 +13,9 @@ import (
 
 func TestRoundTrip(t *testing.T) {
 	events := []mac.Event{
-		{At: 1000, Kind: mac.EvTxStart, Station: 0, Size: 1500, Probe: true, Index: 0},
-		{At: 2000, Kind: mac.EvSuccess, Station: 0, Size: 1500, Probe: true, Index: 0},
-		{At: 3000, Kind: mac.EvCollision, Station: 1, Size: 576, Index: -1, Retries: 2},
+		{At: 1000, Kind: mac.EvTxStart, Station: 0, Size: 1500, Probe: true, Index: 0, AC: phy.ACVoice},
+		{At: 2000, Kind: mac.EvSuccess, Station: 0, Size: 1500, Probe: true, Index: 0, AC: phy.ACVoice},
+		{At: 3000, Kind: mac.EvCollision, Station: 1, Size: 576, Index: -1, Retries: 2, AC: phy.ACBackground},
 		{At: 4000, Kind: mac.EvDrop, Station: 1, Size: 576, Index: -1, Retries: 7},
 	}
 	var buf bytes.Buffer
@@ -183,6 +183,76 @@ func TestSummarizeCollisionsAndDrops(t *testing.T) {
 	}
 	if sum.Collisions != 2 || sum.Drops != 2 || sum.Successes != 0 {
 		t.Errorf("summary %+v, want 2 collisions / 2 drops / 0 successes", sum)
+	}
+}
+
+func TestInvalidACRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(mac.Event{At: 1, Kind: mac.EvSuccess, AC: phy.AccessCategory(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&buf).Next(); err == nil {
+		t.Error("invalid access category accepted")
+	}
+}
+
+// TestPerACSummary runs an EDCA cell through the trace pipeline and
+// checks the per-category aggregation against the engine's own stats:
+// counts match per AC, and the mean service delay of an uncontested
+// category equals its data airtime.
+func TestPerACSummary(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	hook, hookErr := w.Hook()
+	p := phy.B11()
+	end := 300 * sim.Millisecond
+	cfg := mac.Config{
+		Phy:     p,
+		Seed:    5,
+		Horizon: end,
+		OnEvent: hook,
+		Stations: []mac.StationConfig{
+			{AC: phy.ACVoice, Source: traffic.NewCBR(2e6, 1500, 0, end)},
+			{AC: phy.ACBackground, Source: traffic.NewCBR(2e6, 1500, 0, end)},
+		},
+	}
+	res, err := mac.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *hookErr != nil {
+		t.Fatal(*hookErr)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.PerAC[phy.ACVoice].Successes; got != res.Stats[0].Delivered {
+		t.Errorf("AC_VO successes %d, engine delivered %d", got, res.Stats[0].Delivered)
+	}
+	if got := sum.PerAC[phy.ACBackground].Successes; got != res.Stats[1].Delivered {
+		t.Errorf("AC_BK successes %d, engine delivered %d", got, res.Stats[1].Delivered)
+	}
+	if got := sum.PerAC[phy.ACVoice].Collisions; got != res.Stats[0].Collisions {
+		t.Errorf("AC_VO collisions %d, engine %d", got, res.Stats[0].Collisions)
+	}
+	// Every delivery's service delay is at least the data airtime, and
+	// an RTS-free uncontested delivery is exactly that, so the mean is
+	// bounded below by it.
+	for _, ac := range []phy.AccessCategory{phy.ACVoice, phy.ACBackground} {
+		if s := sum.PerAC[ac]; s.Successes > 0 && s.MeanService() < p.DataTxTime(1500) {
+			t.Errorf("%v mean service %v below one data airtime %v", ac, s.MeanService(), p.DataTxTime(1500))
+		}
+	}
+	if (ACSummary{}).MeanService() != 0 {
+		t.Error("empty ACSummary MeanService not 0")
 	}
 }
 

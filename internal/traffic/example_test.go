@@ -1,0 +1,38 @@
+package traffic_test
+
+import (
+	"fmt"
+
+	"csmabw/internal/sim"
+	"csmabw/internal/traffic"
+)
+
+// ExampleMergeSources builds the canonical probing-station workload —
+// an indexed probe train sharing one FIFO queue with cross traffic —
+// as a lazy Source and pulls it the way the MAC engine does: one
+// arrival at a time, in time order, with ties keeping the order the
+// sources were passed in. Nothing is materialized up front; a run
+// that stops early never generates the tail.
+func ExampleMergeSources() {
+	src := traffic.MergeSources(
+		traffic.NewTrain(3, 2*sim.Millisecond, 1500, 0),
+		traffic.NewCBR(2.4e6, 600, sim.Millisecond, 5*sim.Millisecond),
+	)
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		kind := "cross"
+		if a.Probe {
+			kind = fmt.Sprintf("probe #%d", a.Index)
+		}
+		fmt.Printf("%.0fms %4dB %s\n", a.At.Seconds()*1e3, a.Size, kind)
+	}
+	// Output:
+	// 0ms 1500B probe #0
+	// 1ms  600B cross
+	// 2ms 1500B probe #1
+	// 3ms  600B cross
+	// 4ms 1500B probe #2
+}

@@ -39,6 +39,7 @@ type sliceSource struct {
 	next  int
 }
 
+// Next implements Source over the wrapped schedule.
 func (s *sliceSource) Next() (Arrival, bool) {
 	if s.next >= len(s.sched) {
 		return Arrival{}, false
@@ -77,6 +78,7 @@ type poissonSource struct {
 	end  sim.Time
 }
 
+// Next implements Source, drawing one exponential gap per pull.
 func (p *poissonSource) Next() (Arrival, bool) {
 	p.t += p.r.ExpTime(p.mean)
 	if p.t >= p.end {
@@ -98,6 +100,7 @@ type cbrSource struct {
 	end  sim.Time
 }
 
+// Next implements Source with constant spacing.
 func (c *cbrSource) Next() (Arrival, bool) {
 	if c.t >= c.end {
 		return Arrival{}, false
@@ -127,6 +130,7 @@ type trainSource struct {
 	i     int
 }
 
+// Next implements Source, emitting the indexed probe packets.
 func (t *trainSource) Next() (Arrival, bool) {
 	if t.i >= t.n {
 		return Arrival{}, false
@@ -160,6 +164,8 @@ type onOffSource struct {
 	inOn    bool
 }
 
+// Next implements Source, advancing the burst/silence phases as
+// needed to reach the next packet.
 func (s *onOffSource) Next() (Arrival, bool) {
 	for {
 		if !s.inOn {
@@ -195,6 +201,7 @@ type markedSource struct {
 	i   int
 }
 
+// Next implements Source, stamping probe marks and indices.
 func (m *markedSource) Next() (Arrival, bool) {
 	a, ok := m.src.Next()
 	if !ok {
@@ -227,6 +234,8 @@ type mergeSource struct {
 	primed bool
 }
 
+// Next implements Source: the earliest head among the live inputs,
+// input order breaking ties.
 func (m *mergeSource) Next() (Arrival, bool) {
 	if !m.primed {
 		for i, s := range m.srcs {

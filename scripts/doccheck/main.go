@@ -1,0 +1,119 @@
+// Command doccheck enforces the repository's documentation bar: every
+// exported identifier in the packages under the given roots must carry
+// a doc comment. It runs in CI next to gofmt and go vet, so an
+// exported type, function, method, constant or variable cannot land
+// undocumented.
+//
+//	go run ./scripts/doccheck ./internal/...
+//
+// Roots are directories; a trailing /... (or not) walks recursively
+// either way. Test files and testdata directories are skipped. For
+// const/var/type declarations the doc may sit on the declaration group
+// or on the individual spec (an inline trailing comment counts for
+// grouped const/var members); functions and methods need their own doc
+// comment. Struct fields and interface methods are the package
+// author's judgement call and are not checked.
+//
+// Exit status: 0 when clean, 1 with one "file:line: identifier" line
+// per finding, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./internal/..."}
+	}
+	var findings []string
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		root = strings.TrimSuffix(strings.TrimSuffix(root, "..."), "/")
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			findings = append(findings, undocumented(fset, file)...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// undocumented returns one "file:line: identifier" finding per exported
+// top-level identifier in file that lacks a doc comment.
+func undocumented(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	report := func(name *ast.Ident) {
+		pos := fset.Position(name.Pos())
+		out = append(out, fmt.Sprintf("%s:%d: %s", pos.Filename, pos.Line, name.Name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+						report(s.Name)
+					}
+				case *ast.ValueSpec:
+					// Grouped const/var members may ride on the block
+					// doc or an inline trailing comment.
+					if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse wraps a source snippet into a parsed file for undocumented.
+func parse(t *testing.T, src string) ([]string, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return undocumented(fset, file), fset
+}
+
+func TestUndocumentedFindings(t *testing.T) {
+	findings, _ := parse(t, `package p
+
+type Exposed struct{}
+
+func Naked() {}
+
+func (Exposed) Method() {}
+
+const Loose = 1
+
+var Stray int
+`)
+	want := []string{"Exposed", "Naked", "Method", "Loose", "Stray"}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings %v, want %d", len(findings), findings, len(want))
+	}
+	for i, id := range want {
+		if !strings.HasSuffix(findings[i], ": "+id) {
+			t.Errorf("finding %d = %q, want identifier %s", i, findings[i], id)
+		}
+	}
+}
+
+func TestDocumentedFormsPass(t *testing.T) {
+	findings, _ := parse(t, `package p
+
+// Documented has a doc comment.
+type Documented struct{}
+
+// Fine is documented.
+func Fine() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+// Group doc covers every member.
+const (
+	A = 1
+	B = 2
+)
+
+var (
+	// C has a spec doc.
+	C int
+	D int // D has an inline comment.
+)
+
+// Declaration-group doc covers a single type spec too.
+type (
+	Aliased = Documented
+)
+`)
+	if len(findings) != 0 {
+		t.Fatalf("false positives: %v", findings)
+	}
+}
+
+func TestUnexportedAndTestConstructsIgnored(t *testing.T) {
+	findings, _ := parse(t, `package p
+
+type hidden struct{}
+
+func helper() {}
+
+var internal int
+`)
+	if len(findings) != 0 {
+		t.Fatalf("unexported identifiers flagged: %v", findings)
+	}
+}
+
+func TestUngroupedVarWithoutAnyDocFlagged(t *testing.T) {
+	findings, _ := parse(t, `package p
+
+var (
+	Orphan int
+)
+`)
+	if len(findings) != 1 || !strings.HasSuffix(findings[0], ": Orphan") {
+		t.Fatalf("findings = %v, want exactly Orphan", findings)
+	}
+}
