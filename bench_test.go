@@ -498,3 +498,72 @@ func BenchmarkTrainReplication(b *testing.B) {
 		}
 	}
 }
+
+// seriesByName finds a series or fails the benchmark.
+func seriesByName(b *testing.B, fig *experiments.Figure, name string) experiments.Series {
+	b.Helper()
+	for _, s := range fig.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	b.Fatalf("no series %q in %s", name, fig.ID)
+	return experiments.Series{}
+}
+
+// meanAbsDiff reports the mean |a-b| over the X values present in both
+// series — the accuracy headline of the estimator figures. Alignment is
+// by X, not array index: an estimator series legitimately skips a
+// cross-load point when it had no usable value there, and an
+// index-aligned comparison would then pair mismatched loads.
+func meanAbsDiff(a, b experiments.Series) float64 {
+	bAt := make(map[float64]float64, len(b.X))
+	for i, x := range b.X {
+		bAt[x] = b.Y[i]
+	}
+	sum, n := 0.0, 0
+	for i, x := range a.X {
+		y, ok := bAt[x]
+		if !ok {
+			continue
+		}
+		d := a.Y[i] - y
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func BenchmarkAbestAccuracy(b *testing.B) {
+	fig := runFigure(b, "abest-accuracy")
+	truth := seriesByName(b, fig, "ground truth")
+	// Headlines: how far TOPP and the adaptive controller sit from the
+	// measured ground truth, averaged over the cross-load sweep.
+	b.ReportMetric(meanAbsDiff(truth, seriesByName(b, fig, "TOPP")), "topp_meanabs_Mbps")
+	b.ReportMetric(meanAbsDiff(truth, seriesByName(b, fig, "adaptive train")), "adaptive_meanabs_Mbps")
+}
+
+func BenchmarkAbestFrontier(b *testing.B) {
+	fig := runFigure(b, "abest-frontier")
+	cost := seriesByName(b, fig, "probe packets")
+	// Headline: the probing cost of the tightest CI target — the price
+	// of the most confident estimate on the frontier. Targets sweep
+	// loosest-first, so the tightest target is the last point.
+	if n := len(cost.Y); n > 0 {
+		b.ReportMetric(cost.Y[n-1], "tightest_target_packets")
+	}
+}
+
+func BenchmarkAbestRobust(b *testing.B) {
+	fig := runFigure(b, "abest-robust")
+	topp := seriesByName(b, fig, "TOPP")
+	// Headline: TOPP's worst-case relative error across the scenario
+	// matrix — the robustness envelope of the best estimator.
+	b.ReportMetric(maxY(topp), "topp_worst_relerr_pct")
+}

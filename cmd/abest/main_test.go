@@ -1,0 +1,154 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"csmabw/internal/clikit"
+	"csmabw/internal/phy"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+		frag string
+		chk  func(*abestConfig) bool
+	}{
+		{name: "defaults", args: nil, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.est == "all" && c.cross == 2.5 && c.fifo == 0 &&
+					c.target == 0.05 && c.resolution == 0.25 &&
+					c.common.Seed == 53 && c.sc.Reps == 200
+			}},
+		{name: "single estimator", args: []string{"-est", "slops"}, ok: true,
+			chk: func(c *abestConfig) bool { return c.est == "slops" }},
+		{name: "tiny scale", args: []string{"-scale", "tiny"}, ok: true,
+			chk: func(c *abestConfig) bool { return c.sc.Reps == 8 }},
+		{name: "channel knobs", args: []string{"-fer", "0.05", "-topology", "hidden"}, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.channel.Loss.FER == 0.05 && c.channel.Topology != nil
+			}},
+		{name: "edca broadcast", args: []string{"-ac", "vo"}, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.stations[0].AC == phy.ACVoice && c.stations[1].AC == phy.ACVoice
+			}},
+		{name: "per-station rates", args: []string{"-rates", "11,2"}, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.stations[0].DataRate == 11e6 && c.stations[1].DataRate == 2e6
+			}},
+		{name: "unknown estimator", args: []string{"-est", "pathchirp"}, frag: "unknown estimator"},
+		{name: "negative cross", args: []string{"-cross", "-1"}, frag: "-cross"},
+		{name: "negative fifo", args: []string{"-fifo", "-1"}, frag: "-fifo"},
+		{name: "target too big", args: []string{"-target", "1.5"}, frag: "-target"},
+		{name: "zero resolution", args: []string{"-resolution", "0"}, frag: "-resolution"},
+		{name: "NaN cross", args: []string{"-cross", "NaN"}, frag: "-cross"},
+		{name: "NaN fifo", args: []string{"-fifo", "NaN"}, frag: "-fifo"},
+		{name: "NaN target", args: []string{"-target", "NaN"}, frag: "-target"},
+		{name: "Inf resolution", args: []string{"-resolution", "Inf"}, frag: "-resolution"},
+		{name: "NaN fer", args: []string{"-fer", "NaN"}, frag: "-fer"},
+		{name: "NaN rates", args: []string{"-rates", "NaN"}, frag: "-rates"},
+		{name: "NaN seconds", args: []string{"-seconds", "NaN"}, frag: "-seconds"},
+		{name: "three rates for two stations", args: []string{"-rates", "11,2,5"}, frag: "-rates"},
+		{name: "bad format", args: []string{"-format", "xml"}, frag: "unknown format"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, err := parseArgs(tt.args)
+			if tt.ok {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tt.chk != nil && !tt.chk(cfg) {
+					t.Errorf("config check failed: %+v", cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid args accepted")
+			}
+			if tt.frag != "" && !strings.Contains(err.Error(), tt.frag) {
+				t.Errorf("error %q lacks %q", err, tt.frag)
+			}
+		})
+	}
+}
+
+func TestLinkFromFlags(t *testing.T) {
+	cfg, err := parseArgs([]string{"-cross", "3", "-fifo", "1", "-ac", "legacy,vo", "-capture", "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := cfg.link()
+	if len(l.Contenders) != 1 || l.Contenders[0].RateBps != 3e6 {
+		t.Errorf("contender not built: %+v", l.Contenders)
+	}
+	if l.Contenders[0].AC != phy.ACVoice || l.ProbeAC != phy.ACLegacy {
+		t.Errorf("ACs not resolved: probe %v contender %v", l.ProbeAC, l.Contenders[0].AC)
+	}
+	if len(l.FIFOCross) != 1 || l.FIFOCross[0].RateBps != 1e6 {
+		t.Errorf("FIFO cross not built: %+v", l.FIFOCross)
+	}
+	if l.CaptureDB != 6 {
+		t.Errorf("capture threshold not threaded: %g", l.CaptureDB)
+	}
+	cfg, err = parseArgs([]string{"-cross", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := cfg.link(); len(l.Contenders) != 0 {
+		t.Errorf("idle link grew contenders: %+v", l.Contenders)
+	}
+}
+
+func TestRunEmitsFigure(t *testing.T) {
+	cfg, err := parseArgs([]string{"-scale", "tiny", "-format", "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# abest") || !strings.Contains(out, "ground truth") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	// All three estimator rows (x = 1, 2, 3) are present with -est all.
+	for _, prefix := range []string{"1,", "2,", "3,"} {
+		if !strings.Contains(out, "\n"+prefix) {
+			t.Errorf("missing estimator row %q:\n%s", prefix, out)
+		}
+	}
+}
+
+func TestRunSingleEstimator(t *testing.T) {
+	cfg, err := parseArgs([]string{"-scale", "tiny", "-est", "adaptive", "-format", "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "\n1,") || !strings.Contains(out, "\n3,") {
+		t.Errorf("-est adaptive did not select exactly the adaptive row:\n%s", out)
+	}
+}
+
+// TestParseArgsHelpAndUsageErrors pins the exit-code contract of the
+// shared harness: -h surfaces flag.ErrHelp (main exits 0) and a flag
+// parse failure surfaces clikit.ErrUsage (main exits 2 without
+// re-printing the already-reported message).
+func TestParseArgsHelpAndUsageErrors(t *testing.T) {
+	if _, err := parseArgs([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if _, err := parseArgs([]string{"-no-such-flag"}); !errors.Is(err, clikit.ErrUsage) {
+		t.Errorf("unknown flag: got %v, want clikit.ErrUsage", err)
+	}
+}

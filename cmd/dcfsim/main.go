@@ -49,9 +49,13 @@ import (
 	"csmabw/internal/traffic"
 )
 
+// stationSpecs collects repeated -station flags.
 type stationSpecs []string
 
+// String renders the collected specs for flag's usage output.
 func (s *stationSpecs) String() string { return strings.Join(*s, " ") }
+
+// Set appends one -station spec (flag.Value).
 func (s *stationSpecs) Set(v string) error {
 	*s = append(*s, v)
 	return nil

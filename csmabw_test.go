@@ -186,8 +186,8 @@ func TestFacadeTypesUsable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ts.RateEstimate() <= 0 {
-		t.Error("no rate estimate")
+	if est, err := ts.RateEstimate(); err != nil || est <= 0 {
+		t.Errorf("no rate estimate: %g, %v", est, err)
 	}
 	pair, err := MeasurePacketPair(l, 3)
 	if err != nil {

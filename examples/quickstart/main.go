@@ -36,8 +36,12 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	trainEst, err := train.RateEstimate()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("10-packet train estimate   : %5.2f Mb/s  (overestimates B)\n",
-		train.RateEstimate()/1e6)
+		trainEst/1e6)
 
 	// 3. Packet pairs: the extreme case of the same bias.
 	pair, err := csmabw.MeasurePacketPair(link, 200)

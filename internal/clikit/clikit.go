@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -81,6 +82,22 @@ func (f *Flags) Scale() (experiments.Scale, error) {
 	default:
 		return sc, fmt.Errorf("unknown format %q (table|csv|json)", f.Format)
 	}
+	// Numeric knobs are rejected here, at parse time, rather than deep in
+	// the engine: a NaN/Inf duration or a negative count would otherwise
+	// propagate into every statistic (and Figure.JSON cannot even encode
+	// non-finite results — json.Marshal fails on NaN/Inf).
+	if err := CheckFinite("-seconds", f.Seconds); err != nil {
+		return sc, err
+	}
+	if f.Seconds < 0 {
+		return sc, fmt.Errorf("-seconds %g: must be >= 0 (0 = preset value)", f.Seconds)
+	}
+	if f.Reps < 0 {
+		return sc, fmt.Errorf("-reps %d: must be >= 0 (0 = preset value)", f.Reps)
+	}
+	if f.Points < 0 {
+		return sc, fmt.Errorf("-points %d: must be >= 0 (0 = preset value)", f.Points)
+	}
 	switch f.ScaleName {
 	case "tiny":
 		sc = experiments.Tiny()
@@ -143,6 +160,15 @@ func (c *ChannelFlags) Channel(n int) (mac.Channel, error) {
 	ch := mac.Channel{
 		Loss:               phy.ErrorModel{FER: c.FER, BER: c.BER},
 		CaptureThresholdDB: c.CaptureDB,
+	}
+	if err := CheckFinite("-fer", c.FER); err != nil {
+		return ch, err
+	}
+	if err := CheckFinite("-ber", c.BER); err != nil {
+		return ch, err
+	}
+	if err := CheckFinite("-capture", c.CaptureDB); err != nil {
+		return ch, err
 	}
 	switch c.Topology {
 	case "", "mesh":
@@ -214,11 +240,25 @@ func (e *EDCAFlags) Apply(stations []mac.StationConfig) error {
 			if len(vals) > 1 {
 				v = vals[i]
 			}
+			if err := CheckFinite("-rates", v); err != nil {
+				return err
+			}
 			if v < 0 {
 				return fmt.Errorf("-rates: negative rate %g", v)
 			}
 			stations[i].DataRate = v * 1e6
 		}
+	}
+	return nil
+}
+
+// CheckFinite rejects NaN and ±Inf flag values. strconv.ParseFloat —
+// and therefore every flag.Float64Var — happily accepts "NaN" and
+// "Inf", so each front end's numeric knobs are screened here before
+// they can poison the engine's statistics.
+func CheckFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s: non-finite value %g", name, v)
 	}
 	return nil
 }

@@ -2,10 +2,12 @@ package clikit
 
 import (
 	"flag"
+	"math"
 	"strings"
 	"testing"
 
 	"csmabw/internal/experiments"
+	"csmabw/internal/mac"
 )
 
 func parse(t *testing.T, def Defaults, args ...string) *Flags {
@@ -158,5 +160,96 @@ func TestScaleRejectsBadFormatEarly(t *testing.T) {
 	f := parse(t, Defaults{}, "-format", "yaml")
 	if _, err := f.Scale(); err == nil {
 		t.Error("unknown format not rejected before the run")
+	}
+}
+
+// TestScaleRejectsNonFiniteAndNegative is the parse-time screen for the
+// common numeric knobs: strconv (and therefore flag) accepts "NaN",
+// "Inf" and negative values, and before this validation they flowed
+// straight into the engine and produced unrenderable figures.
+func TestScaleRejectsNonFiniteAndNegative(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"seconds NaN", []string{"-seconds", "NaN"}},
+		{"seconds +Inf", []string{"-seconds", "Inf"}},
+		{"seconds -Inf", []string{"-seconds", "-Inf"}},
+		{"seconds negative", []string{"-seconds", "-1"}},
+		{"reps negative", []string{"-reps", "-5"}},
+		{"points negative", []string{"-points", "-2"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := parse(t, Defaults{}, c.args...)
+			if _, err := f.Scale(); err == nil {
+				t.Errorf("Scale() accepted %v", c.args)
+			}
+		})
+	}
+	// Zero stays the documented "use the preset" sentinel.
+	f := parse(t, Defaults{}, "-seconds", "0", "-reps", "0", "-points", "0")
+	if _, err := f.Scale(); err != nil {
+		t.Errorf("zero sentinel rejected: %v", err)
+	}
+}
+
+// TestChannelRejectsNonFinite mirrors the screen for the channel knobs.
+func TestChannelRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		c    ChannelFlags
+	}{
+		{"fer NaN", ChannelFlags{FER: math.NaN()}},
+		{"fer Inf", ChannelFlags{FER: math.Inf(1)}},
+		{"fer negative", ChannelFlags{FER: -0.1}},
+		{"ber NaN", ChannelFlags{BER: math.NaN()}},
+		{"ber 1", ChannelFlags{BER: 1}},
+		{"capture NaN", ChannelFlags{CaptureDB: math.NaN()}},
+		{"capture Inf", ChannelFlags{CaptureDB: math.Inf(1)}},
+		{"capture negative", ChannelFlags{CaptureDB: -3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := c.c.Channel(2); err == nil {
+				t.Errorf("Channel() accepted %+v", c.c)
+			}
+		})
+	}
+	if _, err := (&ChannelFlags{FER: 0.1, CaptureDB: 6}).Channel(2); err != nil {
+		t.Errorf("valid channel rejected: %v", err)
+	}
+}
+
+// TestEDCARatesRejectNonFinite extends the -rates validation to NaN and
+// Inf, which the negative-rate check alone let through (NaN < 0 is
+// false).
+func TestEDCARatesRejectNonFinite(t *testing.T) {
+	for _, rates := range []string{"NaN", "Inf", "-Inf", "11,NaN", "-1"} {
+		e := &EDCAFlags{Rates: rates}
+		if err := e.Apply(make([]mac.StationConfig, 2)); err == nil {
+			t.Errorf("-rates %q accepted", rates)
+		}
+	}
+	if err := (&EDCAFlags{Rates: "11,5.5"}).Apply(make([]mac.StationConfig, 2)); err != nil {
+		t.Errorf("valid -rates rejected: %v", err)
+	}
+}
+
+// TestFigureJSONRejectsNonFinite confirms the encoding boundary the
+// flag validation protects: a figure holding NaN or Inf cannot be
+// rendered as JSON (json.Marshal rejects non-finite floats), so the
+// error must surface instead of panicking.
+func TestFigureJSONRejectsNonFinite(t *testing.T) {
+	for name, v := range map[string]float64{"NaN": math.NaN(), "Inf": math.Inf(1)} {
+		fig := &experiments.Figure{
+			ID: "bad", Series: []experiments.Series{{Name: "s", X: []float64{1}, Y: []float64{v}}},
+		}
+		if _, err := fig.JSON(); err == nil {
+			t.Errorf("Figure.JSON encoded a %s value", name)
+		}
+		if _, err := Render(fig, "json"); err == nil {
+			t.Errorf("Render(json) encoded a %s value", name)
+		}
 	}
 }

@@ -1,0 +1,131 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"csmabw/internal/probe"
+	"csmabw/internal/runner"
+	"csmabw/internal/sim"
+	"csmabw/internal/stats"
+)
+
+// AdaptiveConfig tunes the sequential replication controller.
+type AdaptiveConfig struct {
+	// RateBps is the probing rate of each train; 0 sends back-to-back
+	// trains (the dispersion-maximizing choice, like packet pairs).
+	RateBps float64
+	// TrainLen is the packets per train (default 50).
+	TrainLen int
+	// TargetRel is the stopping target: the 95% confidence half-width
+	// of the estimate must fall below TargetRel times the estimate
+	// (default 0.05). TargetBps, when positive, is used instead as an
+	// absolute half-width target in bit/s.
+	TargetRel float64
+	TargetBps float64
+	// BatchReps is how many replications each round adds (default 8).
+	// The batch schedule is fixed — rounds always grow the sample by
+	// the same amount — so the controller's cost is monotone in the
+	// target: a looser target can only stop at an earlier checkpoint.
+	BatchReps int
+	// MaxReps bounds the total replication budget (default 512).
+	MaxReps int
+}
+
+// withDefaults fills the zero-value knobs.
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.TrainLen == 0 {
+		c.TrainLen = 50
+	}
+	if c.TargetRel == 0 {
+		c.TargetRel = 0.05
+	}
+	if c.BatchReps == 0 {
+		c.BatchReps = 8
+	}
+	if c.MaxReps == 0 {
+		c.MaxReps = 512
+	}
+	return c
+}
+
+// Adaptive runs the sequential train controller on the link: batches
+// of train replications accumulate until the dispersion-based rate
+// estimate's 95% confidence half-width falls under the target — the
+// classical n = ceil((z·sigma/eps)^2) sample-size rule applied
+// sequentially, so quiet links stop after a couple of batches while
+// bursty ones keep probing. The estimate is L/E[gO] over all usable
+// replications, with the half-width propagated from the gap
+// statistics to first order.
+//
+// Replication k's randomness is a pure function of (l.Seed, k), so the
+// result is byte-identical at any l.Workers setting and the k-th train
+// is the same train no matter how batches are scheduled.
+func Adaptive(l probe.Link, cfg AdaptiveConfig) (Estimate, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TrainLen < 2 {
+		return Estimate{}, fmt.Errorf("estimate: train length %d", cfg.TrainLen)
+	}
+	if !(cfg.RateBps >= 0) || math.IsInf(cfg.RateBps, 0) {
+		return Estimate{}, fmt.Errorf("estimate: probing rate %g must be finite and >= 0", cfg.RateBps)
+	}
+	if err := checkFrac("adaptive CI target", cfg.TargetRel, 0, 1); err != nil {
+		return Estimate{}, err
+	}
+	if cfg.TargetBps != 0 {
+		if err := checkRate("adaptive absolute CI target", cfg.TargetBps); err != nil {
+			return Estimate{}, err
+		}
+	}
+	if cfg.BatchReps < 1 || cfg.MaxReps < cfg.BatchReps {
+		return Estimate{}, fmt.Errorf("estimate: invalid adaptive config %+v", cfg)
+	}
+	ld := l.WithDefaults()
+	gI := sim.Time(0)
+	if cfg.RateBps > 0 {
+		gI = sim.FromSeconds(float64(ld.ProbeSize*8) / cfg.RateBps)
+	}
+
+	est := Estimate{}
+	var samples []probe.TrainSample
+	for done := 0; done < cfg.MaxReps; {
+		batch := cfg.BatchReps
+		if rem := cfg.MaxReps - done; batch > rem {
+			batch = rem
+		}
+		start := done
+		fresh, err := runner.Map(batch, l.Workers, func(i int) (probe.TrainSample, error) {
+			return probe.MeasureTrainOne(l, cfg.TrainLen, cfg.RateBps, start+i)
+		})
+		if err != nil {
+			return Estimate{}, err
+		}
+		done += batch
+		est.Rounds++
+		for _, s := range fresh {
+			est.Cost.add(s, cfg.TrainLen, gI)
+			samples = append(samples, s)
+		}
+
+		gs := gaps(samples)
+		if len(gs) < 2 {
+			continue
+		}
+		sum := stats.Summarize(gs)
+		est.Value = float64(ld.ProbeSize*8) / sum.Mean
+		// First-order propagation: a relative error on E[gO] is the same
+		// relative error on L/E[gO].
+		est.CI = est.Value * sum.CI95HalfWidth() / sum.Mean
+		target := cfg.TargetRel * est.Value
+		if cfg.TargetBps > 0 {
+			target = cfg.TargetBps
+		}
+		if est.CI <= target {
+			return est, nil
+		}
+	}
+	if est.Value == 0 {
+		return Estimate{}, fmt.Errorf("%w (adaptive: %d replications, none usable)", ErrEstimateFailed, cfg.MaxReps)
+	}
+	return est, ErrTargetNotReached
+}

@@ -1,0 +1,146 @@
+// Package estimate implements closed-loop available-bandwidth
+// estimators on top of the probe layer — the estimation *tools* whose
+// distortion on CSMA/CA links the reproduced paper (Sections 5.3 and
+// 7.3–7.4) is about. Where package probe measures raw dispersions,
+// this package drives whole measurement campaigns: it decides which
+// rates to probe, how many trains to send, and when the answer is good
+// enough, exactly as deployed tools do.
+//
+// Three estimator families are provided:
+//
+//   - TOPP: a probing-rate sweep whose rate-response curve is inverted
+//     by linear regression (the Trains of Packet Pairs idea the paper's
+//     reference [13] builds on).
+//   - SLoPS: a pathload-style binary search on the one-way-delay trend
+//     of probing trains (Self-Loading Periodic Streams).
+//   - Adaptive: a sequential controller that keeps replicating trains
+//     at a fixed rate until the estimate's 95% confidence half-width
+//     falls under a target — the statistical stopping rule
+//     n = ceil((z·sigma/eps)^2) realized one batch at a time.
+//
+// Every estimator returns an Estimate carrying the value, its
+// confidence half-width, and the probing Cost that bought it, so
+// accuracy can be traded against intrusiveness explicitly. On a
+// CSMA/CA link all of them converge not to the available bandwidth A
+// of the fluid model but to (a biased version of) the achievable
+// throughput B — the paper's central point — which is what GroundTruth
+// measures for scoring.
+//
+// Determinism: estimators derive every replication's randomness from
+// (Link.Seed, round, replication index) through sim.Stream, so results
+// are byte-identical at any Link.Workers setting.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"csmabw/internal/probe"
+	"csmabw/internal/sim"
+)
+
+// Cost is the probing effort an estimate consumed, the currency of the
+// accuracy/intrusiveness frontier.
+type Cost struct {
+	// Trains is the number of probing trains (or long CBR runs) sent.
+	Trains int
+	// Packets is the number of probe packets injected.
+	Packets int
+	// ProbeSeconds is the cumulative wall-clock time the probing flow
+	// was on the wire.
+	ProbeSeconds float64
+}
+
+// add accumulates the cost of one probing train replication.
+func (c *Cost) add(s probe.TrainSample, n int, gI sim.Time) {
+	c.Trains++
+	c.Packets += n
+	c.ProbeSeconds += trainSpan(s, n, gI)
+}
+
+// trainSpan estimates how long one train occupied the path: the span
+// of its delivered departures, floored by the nominal input spacing.
+func trainSpan(s probe.TrainSample, n int, gI sim.Time) float64 {
+	first, last := sim.Time(-1), sim.Time(-1)
+	for _, d := range s.Departures {
+		if d < 0 {
+			continue
+		}
+		if first < 0 {
+			first = d
+		}
+		last = d
+	}
+	span := (last - first).Seconds()
+	if nominal := (sim.Time(n-1) * gI).Seconds(); span < nominal {
+		span = nominal
+	}
+	if span < 0 {
+		span = 0
+	}
+	return span
+}
+
+// Estimate is a closed-loop estimator's verdict.
+type Estimate struct {
+	// Value is the estimated available bandwidth in bit/s.
+	Value float64
+	// CI is the 95% confidence half-width of Value in bit/s. For the
+	// bisection estimator it is the final search bracket's half-width.
+	CI float64
+	// Cost is the probing effort spent.
+	Cost Cost
+	// Rounds is how many closed-loop rounds the estimator ran: sweep
+	// points for TOPP, bisection rounds for SLoPS, batches for the
+	// adaptive controller.
+	Rounds int
+}
+
+// ErrEstimateFailed reports that an estimator could not produce a
+// usable value at all — every probing round came back without a
+// dispersion or trend to act on.
+var ErrEstimateFailed = errors.New("estimate: no usable probing round")
+
+// ErrTargetNotReached reports that the adaptive controller exhausted
+// its replication budget before the confidence target was met; the
+// returned Estimate still carries the best value and its (too-wide)
+// confidence interval.
+var ErrTargetNotReached = errors.New("estimate: confidence target not reached within the replication budget")
+
+// gaps collects the usable per-replication output gaps (seconds) of a
+// train measurement: truncated replications and trains with fewer than
+// two delivered probes carry no dispersion and are excluded.
+func gaps(samples []probe.TrainSample) []float64 {
+	out := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.Truncated || s.GO <= 0 {
+			continue
+		}
+		out = append(out, s.GO.Seconds())
+	}
+	return out
+}
+
+// checkRate validates a probing-rate bracket. NaN must be rejected
+// explicitly: it fails every comparison, so `v <= 0` alone would let
+// it through.
+func checkRate(name string, v float64) error {
+	if !(v > 0) || math.IsInf(v, 0) {
+		return fmt.Errorf("estimate: %s %g must be positive and finite", name, v)
+	}
+	return nil
+}
+
+// checkFrac validates a fraction-like knob (CI targets, tolerances,
+// trend thresholds) against NaN as well as its (lo, hi) range; zero is
+// allowed as the "use the default" sentinel.
+func checkFrac(name string, v, lo, hi float64) error {
+	if v == 0 {
+		return nil
+	}
+	if math.IsNaN(v) || v <= lo || v >= hi {
+		return fmt.Errorf("estimate: %s %g outside (%g, %g)", name, v, lo, hi)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"csmabw/internal/probe"
+	"csmabw/internal/sim"
+	"csmabw/internal/stats"
+)
+
+// SLoPSConfig tunes the self-loading binary search.
+type SLoPSConfig struct {
+	// LoBps/HiBps bracket the search. Zero values default to 0.25 Mb/s
+	// and the PHY's saturation throughput bound.
+	LoBps, HiBps float64
+	// ResolutionBps stops the bisection once the bracket is narrower
+	// than this (default 250 kb/s).
+	ResolutionBps float64
+	// TrainLen is the packets per train (default 60); longer trains
+	// separate a building queue from contention noise more reliably.
+	TrainLen int
+	// Reps is the trains sent per probing rate (default 8); the trend
+	// verdict at a rate aggregates all replications.
+	Reps int
+	// TrendT is the t-statistic above which a rate's delay trend
+	// counts as increasing (default 2.0): each train contributes the
+	// difference between its second-half and first-half mean one-way
+	// delay, and the rate is classified as self-loading when the mean
+	// of those differences exceeds TrendT standard errors — a one-sided
+	// location test that is robust to the per-packet contention noise
+	// a pairwise-comparison metric drowns in.
+	TrendT float64
+	// MaxRounds bounds the bisection (default 20); the search also
+	// stops at ceil(log2(bracket/resolution)) naturally.
+	MaxRounds int
+}
+
+// withDefaults fills the zero-value knobs against the link's PHY.
+func (c SLoPSConfig) withDefaults(l probe.Link) SLoPSConfig {
+	if c.LoBps == 0 {
+		c.LoBps = 0.25e6
+	}
+	if c.HiBps == 0 {
+		c.HiBps = 1.2 * l.Phy.MaxThroughput(l.ProbeSize)
+	}
+	if c.ResolutionBps == 0 {
+		c.ResolutionBps = 250e3
+	}
+	if c.TrainLen == 0 {
+		c.TrainLen = 60
+	}
+	if c.Reps == 0 {
+		c.Reps = 8
+	}
+	if c.TrendT == 0 {
+		c.TrendT = 2
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 20
+	}
+	return c
+}
+
+// SLoPS runs the pathload-style estimator: probing at a rate above the
+// available share makes the probing station's queue build for the
+// train's whole duration, so the per-packet one-way delays trend
+// upward; probing below it leaves them stationary. The estimator
+// bisects on the probing rate, classifying each rate by a one-sided
+// location test on its trains' delay trends (see TrendT), until the
+// bracket is narrower than the resolution. The bracket midpoint is the
+// estimate and the bracket half-width its confidence bound; the round
+// count is bounded by ceil(log2(bracket/resolution)), so the search
+// always terminates in a known number of rate probings.
+//
+// Round r derives its randomness from sim.NewStream(l.Seed).Child(r),
+// so the result is identical at any l.Workers setting.
+func SLoPS(l probe.Link, cfg SLoPSConfig) (Estimate, error) {
+	ld := l.WithDefaults()
+	cfg = cfg.withDefaults(ld)
+	if err := checkRate("SLoPS lower bracket", cfg.LoBps); err != nil {
+		return Estimate{}, err
+	}
+	if err := checkRate("SLoPS upper bracket", cfg.HiBps); err != nil {
+		return Estimate{}, err
+	}
+	if cfg.HiBps <= cfg.LoBps {
+		return Estimate{}, fmt.Errorf("estimate: SLoPS bracket [%g, %g] empty", cfg.LoBps, cfg.HiBps)
+	}
+	if err := checkRate("SLoPS resolution", cfg.ResolutionBps); err != nil {
+		return Estimate{}, err
+	}
+	if cfg.ResolutionBps >= cfg.HiBps-cfg.LoBps {
+		// A resolution wider than the bracket would end the search before
+		// a single train is sent; reject it rather than return a
+		// zero-evidence "estimate".
+		return Estimate{}, fmt.Errorf("estimate: SLoPS resolution %g not below the bracket width %g",
+			cfg.ResolutionBps, cfg.HiBps-cfg.LoBps)
+	}
+	if cfg.TrainLen < 8 {
+		return Estimate{}, fmt.Errorf("estimate: SLoPS train length %d too short for a trend", cfg.TrainLen)
+	}
+	if !(cfg.TrendT > 0) || math.IsInf(cfg.TrendT, 0) {
+		return Estimate{}, fmt.Errorf("estimate: SLoPS trend threshold %g must be positive and finite", cfg.TrendT)
+	}
+
+	root := sim.NewStream(l.Seed)
+	lo, hi := cfg.LoBps, cfg.HiBps
+	est := Estimate{}
+	classified := false
+	for round := 0; round < cfg.MaxRounds && hi-lo > cfg.ResolutionBps; round++ {
+		mid := (lo + hi) / 2
+		li := l
+		li.Seed = root.Child(uint64(round)).Seed()
+		ts, err := probe.MeasureTrain(li, cfg.TrainLen, mid, cfg.Reps)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est.Rounds++
+		truncated := 0
+		var deltas []float64
+		for _, s := range ts.Samples {
+			est.Cost.add(s, cfg.TrainLen, ts.GI)
+			if s.Truncated {
+				// A train the horizon cut short is overload evidence in
+				// itself: the queue never drained.
+				truncated++
+				continue
+			}
+			if d, ok := owdTrendDelta(s.Departures, ts.GI); ok {
+				deltas = append(deltas, d)
+			}
+		}
+		switch {
+		case truncated*2 >= len(ts.Samples):
+			// Half the trains never resolved: unambiguous overload.
+			classified = true
+			hi = mid
+		case len(deltas) == 0:
+			// Nothing delivered a readable trend — treat as overload and
+			// search lower.
+			hi = mid
+		case trendIncreasing(deltas, cfg.TrendT):
+			classified = true
+			hi = mid // delays trend upward: probing above the available share
+		default:
+			classified = true
+			lo = mid
+		}
+	}
+	if !classified {
+		return Estimate{}, fmt.Errorf("%w (SLoPS: no train produced a delay trend)", ErrEstimateFailed)
+	}
+	est.Value = (lo + hi) / 2
+	est.CI = (hi - lo) / 2
+	return est, nil
+}
+
+// owdTrendDelta summarizes one train's delay trend as the difference
+// between its second-half and first-half mean one-way delay (seconds).
+// The one-way delay of packet i is its departure minus its nominal
+// send instant i·gI — the unknown common offset cancels in the
+// difference — which is the full queueing-plus-access delay a
+// self-loading stream inflates, not just the contention share that
+// TrainSample.AccessDelays records. Dropped packets (-1) are skipped;
+// the verdict needs a minimum of delivered packets per half; ok
+// reports whether enough survived.
+func owdTrendDelta(departures []sim.Time, gI sim.Time) (delta float64, ok bool) {
+	half := len(departures) / 2
+	var sum [2]float64
+	var n [2]int
+	for i, dep := range departures {
+		if dep < 0 {
+			continue
+		}
+		side := 0
+		if i >= half {
+			side = 1
+		}
+		sum[side] += (dep - sim.Time(i)*gI).Seconds()
+		n[side]++
+	}
+	if n[0] < 4 || n[1] < 4 {
+		return 0, false
+	}
+	return sum[1]/float64(n[1]) - sum[0]/float64(n[0]), true
+}
+
+// trendIncreasing applies the one-sided location test: the mean of the
+// per-train deltas must exceed trendT standard errors of their spread.
+// A single usable train falls back to its sign; zero spread (identical
+// deltas, e.g. a deterministic idle link) to the sign of the mean.
+func trendIncreasing(deltas []float64, trendT float64) bool {
+	sum := stats.Summarize(deltas)
+	if sum.N == 1 {
+		return sum.Mean > 0
+	}
+	sem := sum.StdDev() / math.Sqrt(float64(sum.N))
+	if sem == 0 {
+		return sum.Mean > 0
+	}
+	return sum.Mean/sem >= trendT
+}

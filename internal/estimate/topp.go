@@ -1,0 +1,175 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+
+	"csmabw/internal/core"
+	"csmabw/internal/probe"
+	"csmabw/internal/sim"
+	"csmabw/internal/stats"
+)
+
+// TOPPConfig tunes the rate-sweep estimator.
+type TOPPConfig struct {
+	// MinRateBps/MaxRateBps bracket the probing-rate sweep. Zero values
+	// default to 0.25 Mb/s and the PHY's saturation throughput bound.
+	MinRateBps, MaxRateBps float64
+	// Points is the number of sweep rates (default 10).
+	Points int
+	// TrainLen is the packets per train when sweeping with trains
+	// (default 50); ignored with UseSteadyState.
+	TrainLen int
+	// Reps is the train replications per sweep rate (default 10);
+	// ignored with UseSteadyState.
+	Reps int
+	// UseSteadyState replaces trains with one long constant-rate run
+	// per sweep rate — the idealized (very intrusive) variant whose
+	// curve is free of the short-train transient bias.
+	UseSteadyState bool
+	// SteadySeconds is the duration of each steady-state run (default
+	// 1s); only with UseSteadyState.
+	SteadySeconds float64
+	// Tol is the relative deviation |ro-ri|/ri below which a sweep
+	// point counts as unsaturated (default 0.08).
+	Tol float64
+}
+
+// withDefaults fills the zero-value knobs against the link's PHY.
+func (c TOPPConfig) withDefaults(l probe.Link) TOPPConfig {
+	if c.MinRateBps == 0 {
+		c.MinRateBps = 0.25e6
+	}
+	if c.MaxRateBps == 0 {
+		c.MaxRateBps = 1.2 * l.Phy.MaxThroughput(l.ProbeSize)
+	}
+	if c.Points == 0 {
+		c.Points = 10
+	}
+	if c.TrainLen == 0 {
+		c.TrainLen = 50
+	}
+	if c.Reps == 0 {
+		c.Reps = 10
+	}
+	if c.SteadySeconds == 0 {
+		c.SteadySeconds = 1
+	}
+	if c.Tol == 0 {
+		c.Tol = 0.08
+	}
+	return c
+}
+
+// TOPP runs the probing-rate sweep estimator: trains (or long
+// constant-rate runs) at increasing rates ri trace the rate-response
+// curve ro(ri), and the saturated region is inverted by the TOPP
+// regression ri/ro = ri/C + (C-A)/C (core.FitFIFO). On a CSMA/CA link
+// the measured curve is the paper's Eq. 3 shape — flat at the
+// achievable throughput B — so the regression's A lands near B rather
+// than the fluid available bandwidth; TOPP also reports the plateau
+// mean (core.FitCSMA) and returns whichever model fits the measured
+// curve with smaller RMSE, which on contended CSMA/CA links is the
+// plateau.
+//
+// Sweep point i derives its randomness from sim.NewStream(l.Seed).
+// Child(i), so the result is identical at any l.Workers setting.
+func TOPP(l probe.Link, cfg TOPPConfig) (Estimate, error) {
+	ld := l.WithDefaults()
+	cfg = cfg.withDefaults(ld)
+	if err := checkRate("TOPP min rate", cfg.MinRateBps); err != nil {
+		return Estimate{}, err
+	}
+	if err := checkRate("TOPP max rate", cfg.MaxRateBps); err != nil {
+		return Estimate{}, err
+	}
+	if cfg.MaxRateBps <= cfg.MinRateBps {
+		return Estimate{}, fmt.Errorf("estimate: TOPP rate bracket [%g, %g] empty", cfg.MinRateBps, cfg.MaxRateBps)
+	}
+	if cfg.Points < 3 {
+		return Estimate{}, fmt.Errorf("estimate: TOPP needs >= 3 sweep points, got %d", cfg.Points)
+	}
+	if err := checkFrac("TOPP tolerance", cfg.Tol, 0, 1); err != nil {
+		return Estimate{}, err
+	}
+
+	root := sim.NewStream(l.Seed)
+	est := Estimate{}
+	var ri, ro []float64
+	for i := 0; i < cfg.Points; i++ {
+		rate := cfg.MinRateBps + (cfg.MaxRateBps-cfg.MinRateBps)*float64(i)/float64(cfg.Points-1)
+		li := l
+		li.Seed = root.Child(uint64(i)).Seed()
+		est.Rounds++
+		if cfg.UseSteadyState {
+			dur := sim.FromSeconds(cfg.SteadySeconds)
+			ss, err := probe.MeasureSteadyState(li, rate, dur)
+			if err != nil {
+				return Estimate{}, err
+			}
+			est.Cost.Trains++
+			est.Cost.Packets += int(rate * cfg.SteadySeconds / float64(ld.ProbeSize*8))
+			est.Cost.ProbeSeconds += cfg.SteadySeconds
+			ri = append(ri, rate)
+			ro = append(ro, ss.ProbeRate)
+			continue
+		}
+		ts, err := probe.MeasureTrain(li, cfg.TrainLen, rate, cfg.Reps)
+		if err != nil {
+			return Estimate{}, err
+		}
+		for _, s := range ts.Samples {
+			est.Cost.add(s, cfg.TrainLen, ts.GI)
+		}
+		out, err := ts.RateEstimate()
+		if errors.Is(err, probe.ErrNoEstimate) {
+			continue // no usable dispersion at this rate: skip the point
+		}
+		if err != nil {
+			return Estimate{}, err
+		}
+		ri = append(ri, rate)
+		ro = append(ro, out)
+	}
+	return toppRegress(est, ri, ro, cfg.Tol)
+}
+
+// toppRegress inverts the measured rate-response curve: the FIFO-model
+// regression and the CSMA plateau mean are both fitted, and the model
+// with the smaller RMSE against the curve wins. The confidence
+// half-width is the CI95 of the saturated points' output rates — the
+// spread of the plateau the estimate is read from.
+func toppRegress(est Estimate, ri, ro []float64, tol float64) (Estimate, error) {
+	csma, errCSMA := core.FitCSMA(ri, ro, tol)
+	if errCSMA != nil {
+		return Estimate{}, fmt.Errorf("%w (TOPP: %v)", ErrEstimateFailed, errCSMA)
+	}
+	est.Value = csma.B
+	if fifo, err := core.FitFIFO(ri, ro, tol); err == nil {
+		fifoRMSE := core.ModelRMSE(ri, ro, func(r float64) float64 {
+			if r <= fifo.A {
+				return r
+			}
+			return r * fifo.C / (r + fifo.C - fifo.A)
+		})
+		// The FIFO inversion only takes over when it fits decisively
+		// better: on noisy sweeps the two models' RMSEs are close, and
+		// near a toss-up the plateau mean is the far lower-variance
+		// estimator (the FIFO intercept leverages the sweep's extremes).
+		if fifoRMSE < 0.8*csma.RMSE {
+			est.Value = fifo.A
+		}
+	}
+	var plateau []float64
+	for i := range ri {
+		if ri[i] > 0 && ro[i] > 0 && ro[i] < ri[i]*(1-tol) {
+			plateau = append(plateau, ro[i])
+		}
+	}
+	// A one-point plateau has no spread to report; CI stays 0 rather
+	// than the +Inf a single-sample confidence interval would give.
+	if s := stats.Summarize(plateau); s.N >= 2 {
+		est.CI = s.CI95HalfWidth()
+	}
+	return est, nil
+}

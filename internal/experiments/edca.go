@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"csmabw/internal/phy"
@@ -233,8 +234,15 @@ func RateAnomaly(p RateAnomalyParams, sc Scale) (*Figure, error) {
 					samples = append(samples, u.sample)
 				}
 				ts := probe.TrainStats{L: p.PacketSize, Samples: samples}
+				est, err := ts.RateEstimate()
+				if errors.Is(err, probe.ErrNoEstimate) {
+					continue // no usable dispersion at this point: skip, don't plot 0
+				}
+				if err != nil {
+					return nil, err
+				}
 				train.X = append(train.X, x)
-				train.Y = append(train.Y, ts.RateEstimate()/1e6)
+				train.Y = append(train.Y, est/1e6)
 			}
 			fig.Series = append(fig.Series, train, steady)
 			return fig, nil

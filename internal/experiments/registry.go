@@ -47,6 +47,11 @@ func Registry() []struct {
 		// and per-station data rates (the performance anomaly).
 		{"edca-transient", func(sc Scale) (*Figure, error) { return EDCATransient(DefaultEDCATransient(), sc) }},
 		{"rate-anomaly", func(sc Scale) (*Figure, error) { return RateAnomaly(DefaultRateAnomaly(), sc) }},
+		// Closed-loop estimator evaluation: whole estimation campaigns
+		// (internal/estimate) scored against measured ground truth.
+		{"abest-accuracy", func(sc Scale) (*Figure, error) { return AbestAccuracy(DefaultAbest(), sc) }},
+		{"abest-frontier", func(sc Scale) (*Figure, error) { return AbestFrontier(DefaultAbest(), sc) }},
+		{"abest-robust", func(sc Scale) (*Figure, error) { return AbestRobust(DefaultAbest(), sc) }},
 	}
 }
 

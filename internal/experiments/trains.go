@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"csmabw/internal/core"
@@ -70,7 +71,10 @@ func TrainRRC(id string, p TrainRRCParams, sc Scale) (*Figure, error) {
 	rates := sweep(0.5e6, p.MaxProbeBps, sc.SweepPoints)
 	nPoints := len(rates)
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	type pt struct{ x, y float64 }
+	type pt struct {
+		ok   bool
+		x, y float64
+	}
 	return Run(Scenario[pt]{
 		Seed:  p.Seed,
 		Units: nPoints * (1 + len(p.TrainLens)),
@@ -82,14 +86,23 @@ func TrainRRC(id string, p TrainRRCParams, sc Scale) (*Figure, error) {
 				if err != nil {
 					return pt{}, err
 				}
-				return pt{x: ri / 1e6, y: ss.ProbeRate / 1e6}, nil
+				return pt{ok: true, x: ri / 1e6, y: ss.ProbeRate / 1e6}, nil
 			}
 			n := p.TrainLens[curve-1]
 			ts, err := probe.MeasureTrain(p.link(p.Seed+int64(n*1000+i)), n, ri, sc.Reps)
 			if err != nil {
 				return pt{}, err
 			}
-			return pt{x: ri / 1e6, y: ts.RateEstimate() / 1e6}, nil
+			est, err := ts.RateEstimate()
+			if errors.Is(err, probe.ErrNoEstimate) {
+				// No usable dispersion at this operating point: leave the
+				// point out of the curve instead of plotting a bogus 0.
+				return pt{}, nil
+			}
+			if err != nil {
+				return pt{}, err
+			}
+			return pt{ok: true, x: ri / 1e6, y: est / 1e6}, nil
 		},
 		Reduce: func(pts []pt) (*Figure, error) {
 			fig := &Figure{
@@ -104,6 +117,9 @@ func TrainRRC(id string, p TrainRRCParams, sc Scale) (*Figure, error) {
 					s.Name = fmt.Sprintf("train of %d packets", p.TrainLens[curve-1])
 				}
 				for _, pt := range pts[curve*nPoints : (curve+1)*nPoints] {
+					if !pt.ok {
+						continue
+					}
 					s.X = append(s.X, pt.x)
 					s.Y = append(s.Y, pt.y)
 				}
@@ -138,7 +154,10 @@ func DefaultFig16() Fig16Params {
 // Each cross-traffic level is an independent unit on the worker pool.
 func Fig16PacketPair(p Fig16Params, sc Scale) (*Figure, error) {
 	dur := sim.FromSeconds(sc.SteadySeconds)
-	type pt struct{ x, fluid, pair float64 }
+	type pt struct {
+		x, fluid, pair float64
+		pairOK         bool
+	}
 	return Run(Scenario[pt]{
 		Seed:  p.Seed,
 		Units: len(p.CrossRates),
@@ -153,11 +172,18 @@ func Fig16PacketPair(p Fig16Params, sc Scale) (*Figure, error) {
 			if err != nil {
 				return pt{}, err
 			}
+			out := pt{x: cr / 1e6, fluid: ss.ProbeRate / 1e6}
 			est, err := probe.MeasurePair(l, sc.Reps)
-			if err != nil {
+			switch {
+			case errors.Is(err, probe.ErrNoEstimate):
+				// The fluid point stands; the pair curve skips this level
+				// instead of plotting a bogus 0 bit/s inference.
+			case err != nil:
 				return pt{}, err
+			default:
+				out.pair, out.pairOK = est/1e6, true
 			}
-			return pt{x: cr / 1e6, fluid: ss.ProbeRate / 1e6, pair: est / 1e6}, nil
+			return out, nil
 		},
 		Reduce: func(pts []pt) (*Figure, error) {
 			fluid := Series{Name: "fluid response (actual)"}
@@ -165,6 +191,9 @@ func Fig16PacketPair(p Fig16Params, sc Scale) (*Figure, error) {
 			for _, pt := range pts {
 				fluid.X = append(fluid.X, pt.x)
 				fluid.Y = append(fluid.Y, pt.fluid)
+				if !pt.pairOK {
+					continue
+				}
 				pair.X = append(pair.X, pt.x)
 				pair.Y = append(pair.Y, pt.pair)
 			}

@@ -23,7 +23,11 @@ func ExampleMeasureTrain() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("10-packet train estimate: %.1f Mb/s\n", ts.RateEstimate()/1e6)
+	est, err := ts.RateEstimate()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("10-packet train estimate: %.1f Mb/s\n", est/1e6)
 	// Output:
 	// 10-packet train estimate: 3.6 Mb/s
 }

@@ -24,7 +24,9 @@
 package probe
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
@@ -399,14 +401,34 @@ func (ts *TrainStats) MeanGO() float64 {
 	return sum / float64(n)
 }
 
+// ErrNoEstimate reports that a train measurement produced no usable
+// dispersion sample: every replication was either truncated by the
+// simulation horizon or delivered fewer than two probe packets, so
+// L/E[gO] is undefined. Callers that sweep many operating points can
+// test for it with errors.Is and skip the point instead of aborting.
+var ErrNoEstimate = errors.New("probe: no usable replication for a dispersion estimate")
+
 // RateEstimate is the dispersion-based rate inference L/E[gO] in bit/s
-// (Section 5.3's estimator of ro).
-func (ts *TrainStats) RateEstimate() float64 {
+// (Section 5.3's estimator of ro). When no replication yields a usable
+// dispersion — all trains truncated by the horizon, or fewer than two
+// probes delivered everywhere — it returns NaN and an error wrapping
+// ErrNoEstimate rather than a silent (and bogus) 0 bit/s.
+func (ts *TrainStats) RateEstimate() (float64, error) {
 	g := ts.MeanGO()
 	if g <= 0 {
-		return 0
+		truncated, short := 0, 0
+		for _, s := range ts.Samples {
+			switch {
+			case s.Truncated:
+				truncated++
+			case s.GO <= 0:
+				short++
+			}
+		}
+		return math.NaN(), fmt.Errorf("%w (%d replications: %d truncated by the horizon, %d delivered <2 probes)",
+			ErrNoEstimate, len(ts.Samples), truncated, short)
 	}
-	return float64(ts.L*8) / g
+	return float64(ts.L*8) / g, nil
 }
 
 // DelaysByIndex returns the replication-by-index access delay matrix in
@@ -463,13 +485,15 @@ func (ts *TrainStats) InterDepartureGaps() [][]float64 {
 
 // MeasurePair runs packet-pair probing (a 2-packet train at infinite
 // rate) and returns the mean dispersion-based capacity estimate in
-// bit/s over reps replications.
+// bit/s over reps replications. When no replication delivers a usable
+// pair dispersion the error wraps ErrNoEstimate (and the value is NaN)
+// instead of reporting 0 bit/s.
 func MeasurePair(l Link, reps int) (float64, error) {
 	ts, err := MeasureTrain(l, 2, 0, reps)
 	if err != nil {
 		return 0, err
 	}
-	return ts.RateEstimate(), nil
+	return ts.RateEstimate()
 }
 
 // SteadyState measures the steady-state operating point at probing rate

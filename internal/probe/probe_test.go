@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -23,8 +24,8 @@ func TestMeasureTrainNoCross(t *testing.T) {
 	if math.Abs(ts.MeanGO()-gI) > 0.02*gI {
 		t.Errorf("gO = %g, want ~gI = %g", ts.MeanGO(), gI)
 	}
-	if est := ts.RateEstimate(); math.Abs(est-1e6) > 0.05e6 {
-		t.Errorf("rate estimate %.2f Mb/s, want ~1", est/1e6)
+	if est, err := ts.RateEstimate(); err != nil || math.Abs(est-1e6) > 0.05e6 {
+		t.Errorf("rate estimate %.2f Mb/s (err %v), want ~1", est/1e6, err)
 	}
 }
 
@@ -37,7 +38,10 @@ func TestMeasureTrainSaturatedNoCross(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := phy.B11().MaxThroughput(1500)
-	est := ts.RateEstimate()
+	est, err := ts.RateEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(est-c) > 0.15*c {
 		t.Errorf("saturated estimate %.2f Mb/s, want ~%.2f", est/1e6, c/1e6)
 	}
@@ -185,7 +189,10 @@ func TestMeasurePairOverestimatesUnderContention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	steady := long.RateEstimate()
+	steady, err := long.RateEstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pair <= steady {
 		t.Errorf("pair %.2f Mb/s should overestimate long-train %.2f", pair/1e6, steady/1e6)
 	}
@@ -396,5 +403,38 @@ func TestTrainNotTruncatedNormally(t *testing.T) {
 		if s.Truncated {
 			t.Errorf("replication %d flagged Truncated in a benign scenario", r)
 		}
+	}
+}
+
+// TestRateEstimateAllTruncated pins the silent-zero fix: when the FIFO
+// queue is backlogged so far past the drain horizon that no replication
+// ever resolves its train, the estimator must say so with an error
+// wrapping ErrNoEstimate and a NaN value — not report 0 bit/s as if it
+// were a measurement.
+func TestRateEstimateAllTruncated(t *testing.T) {
+	l := quietLink(30)
+	l.WarmUp = 500 * sim.Millisecond
+	// 60 Mb/s of FIFO cross-traffic onto an 11 Mb/s PHY: the warm-up
+	// alone queues seconds of backlog ahead of the probes, far beyond
+	// the 2-packet train's drain envelope.
+	l.FIFOCross = []Flow{{RateBps: 60e6, Size: 1500}}
+	ts, err := MeasureTrain(l, 2, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ts.Samples {
+		if !s.Truncated {
+			t.Fatalf("replication %d not truncated; fixture no longer saturates the horizon", i)
+		}
+	}
+	est, err := ts.RateEstimate()
+	if !errors.Is(err, ErrNoEstimate) {
+		t.Fatalf("RateEstimate error = %v, want ErrNoEstimate", err)
+	}
+	if !math.IsNaN(est) {
+		t.Errorf("RateEstimate value = %g, want NaN", est)
+	}
+	if _, err := MeasurePair(l, 4); !errors.Is(err, ErrNoEstimate) {
+		t.Errorf("MeasurePair error = %v, want ErrNoEstimate", err)
 	}
 }

@@ -57,19 +57,27 @@ func KSTwoSampleECDF(a []float64, eb *ECDF, alpha float64) KSResult {
 	}
 	ea := NewECDF(a)
 	d := 0.0
-	for _, x := range ea.sorted {
+	// Between two step functions, the supremum distance is attained
+	// either at a jump point of one of the samples or in the open
+	// interval just left of one: F_a jumps *at* its own points but is
+	// still flat just below a jump of F_b (and vice versa), so both
+	// sides of every jump in *both* samples must be checked. Checking
+	// below only a's jumps underestimates D whenever a has no jump at a
+	// b jump point.
+	check := func(x float64) {
 		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
 			d = v
 		}
-		// Also check just below the jump.
-		if v := math.Abs(ea.At(math.Nextafter(x, math.Inf(-1))) - eb.At(math.Nextafter(x, math.Inf(-1)))); v > d {
+		below := math.Nextafter(x, math.Inf(-1))
+		if v := math.Abs(ea.At(below) - eb.At(below)); v > d {
 			d = v
 		}
 	}
+	for _, x := range ea.sorted {
+		check(x)
+	}
 	for _, x := range eb.sorted {
-		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
-			d = v
-		}
+		check(x)
 	}
 	return KSResult{D: d, Threshold: ksCritical(len(a), eb.Len(), alpha)}
 }

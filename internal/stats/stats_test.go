@@ -370,3 +370,80 @@ func TestECDFProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// bruteForceKSD computes the two-sample step-vs-step KS statistic the
+// slow, obviously-correct way: |Fa - Fb| is evaluated at every sample
+// point of either sample and as the left limit just below it (counting
+// with < instead of <=), with no ECDF machinery shared with the
+// implementation under test.
+func bruteForceKSD(a, b []float64) float64 {
+	pts := append(append([]float64(nil), a...), b...)
+	frac := func(xs []float64, x float64, strict bool) float64 {
+		n := 0
+		for _, v := range xs {
+			if v < x || (!strict && v == x) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	d := 0.0
+	for _, x := range pts {
+		if v := math.Abs(frac(a, x, false) - frac(b, x, false)); v > d {
+			d = v
+		}
+		if v := math.Abs(frac(a, x, true) - frac(b, x, true)); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestKSSupremumBothJumpSets is the regression test for the supremum
+// evaluation: the step-vs-step statistic must examine both sides of the
+// jump points of *both* samples. The fixture places the reference
+// pool's only jump strictly between two jumps of a, where the distance
+// just below the pool's jump is as large as anywhere else — a point the
+// evaluation must not miss.
+func TestKSSupremumBothJumpSets(t *testing.T) {
+	a := []float64{0, 0, 0, 100}
+	b := []float64{50}
+	got := KSTwoSample(a, b, 0.05).D
+	want := bruteForceKSD(a, b)
+	if got != want {
+		t.Fatalf("KS D = %g, brute force %g", got, want)
+	}
+}
+
+// TestKSMatchesBruteForce cross-validates the optimized supremum search
+// against the brute-force evaluation on random samples, including heavy
+// ties (integer-valued draws), tiny samples, and disjoint supports.
+func TestKSMatchesBruteForce(t *testing.T) {
+	r := sim.NewRand(77)
+	draw := func(n int, tie bool, shift float64) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			v := r.Float64()*4 + shift
+			if tie {
+				v = math.Floor(v)
+			}
+			xs[i] = v
+		}
+		return xs
+	}
+	for trial := 0; trial < 200; trial++ {
+		na, nb := 1+r.Intn(30), 1+r.Intn(30)
+		tieA, tieB := r.Intn(2) == 0, r.Intn(2) == 0
+		shift := 0.0
+		if r.Intn(3) == 0 {
+			shift = 10 // disjoint supports
+		}
+		a := draw(na, tieA, 0)
+		b := draw(nb, tieB, shift)
+		got := KSTwoSample(a, b, 0.05).D
+		want := bruteForceKSD(a, b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: KS D = %g, brute force %g (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
