@@ -66,6 +66,7 @@ func EDCATransient(p EDCATransientParams, sc Scale) (*Figure, error) {
 		curve  int
 		sample probe.TrainSample
 	}
+	var plans []*probe.TrainPlan
 	return Run(Scenario[unit]{
 		Seed:  p.Seed,
 		Units: len(p.ACs) * sc.Reps,
@@ -78,19 +79,30 @@ func EDCATransient(p EDCATransientParams, sc Scale) (*Figure, error) {
 			if !p.CrossAC.Valid() {
 				return fmt.Errorf("experiments: invalid cross access category %v", p.CrossAC)
 			}
+			// One plan per probing category: the per-curve link (probe AC
+			// and seed vary) is resolved once here, not once per unit.
+			plans = make([]*probe.TrainPlan, len(p.ACs))
+			for curve, ac := range p.ACs {
+				l := probe.Link{
+					ProbeSize: p.PacketSize,
+					ProbeAC:   ac,
+					Contenders: []probe.Flow{
+						{RateBps: p.CrossRateBps, Size: p.PacketSize, AC: p.CrossAC},
+					},
+					Seed: p.Seed + int64(curve)*1013,
+				}
+				plan, err := probe.PlanTrain(l, p.TrainLen, p.ProbeRateBps)
+				if err != nil {
+					return err
+				}
+				plans[curve] = plan
+			}
 			return nil
 		},
-		RunOne: func(u int, _ sim.Stream) (unit, error) {
+		NewWorker: func() any { return &probe.TrainMeter{} },
+		RunOneOn: func(ws any, u int, _ sim.Stream) (unit, error) {
 			curve, rep := u/sc.Reps, u%sc.Reps
-			l := probe.Link{
-				ProbeSize: p.PacketSize,
-				ProbeAC:   p.ACs[curve],
-				Contenders: []probe.Flow{
-					{RateBps: p.CrossRateBps, Size: p.PacketSize, AC: p.CrossAC},
-				},
-				Seed: p.Seed + int64(curve)*1013,
-			}
-			s, err := probe.MeasureTrainOne(l, p.TrainLen, p.ProbeRateBps, rep)
+			s, err := plans[curve].MeasureOne(ws.(*probe.TrainMeter), rep)
 			return unit{curve: curve, sample: s}, err
 		},
 		Reduce: func(units []unit) (*Figure, error) {

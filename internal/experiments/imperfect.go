@@ -132,26 +132,35 @@ func FERTransient(p FERTransientParams, sc Scale) (*Figure, error) {
 		curve  int
 		sample probe.TrainSample
 	}
+	var plans []*probe.TrainPlan
 	return Run(Scenario[unit]{
 		Seed:  p.Seed,
 		Units: len(p.FERs) * sc.Reps,
 		Build: func() error {
-			for _, fer := range p.FERs {
+			// One plan per FER curve, resolved once; replications only run.
+			plans = make([]*probe.TrainPlan, len(p.FERs))
+			for curve, fer := range p.FERs {
 				if err := (phy.ErrorModel{FER: fer}).Validate(); err != nil {
 					return err
 				}
+				l := probe.Link{
+					ProbeSize:  p.PacketSize,
+					Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
+					Seed:       p.Seed + int64(curve)*977,
+					Loss:       phy.ErrorModel{FER: fer},
+				}
+				plan, err := probe.PlanTrain(l, p.TrainLen, p.ProbeRateBps)
+				if err != nil {
+					return err
+				}
+				plans[curve] = plan
 			}
 			return nil
 		},
-		RunOne: func(u int, _ sim.Stream) (unit, error) {
+		NewWorker: func() any { return &probe.TrainMeter{} },
+		RunOneOn: func(ws any, u int, _ sim.Stream) (unit, error) {
 			curve, rep := u/sc.Reps, u%sc.Reps
-			l := probe.Link{
-				ProbeSize:  p.PacketSize,
-				Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
-				Seed:       p.Seed + int64(curve)*977,
-				Loss:       phy.ErrorModel{FER: p.FERs[curve]},
-			}
-			s, err := probe.MeasureTrainOne(l, p.TrainLen, p.ProbeRateBps, rep)
+			s, err := plans[curve].MeasureOne(ws.(*probe.TrainMeter), rep)
 			return unit{curve: curve, sample: s}, err
 		},
 		Reduce: func(units []unit) (*Figure, error) {

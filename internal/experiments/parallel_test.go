@@ -156,3 +156,50 @@ func TestInvalidScaleErrors(t *testing.T) {
 		t.Error("Fig6 accepted zero reps")
 	}
 }
+
+// TestScenarioExactlyOneRunner: a scenario must set exactly one of
+// RunOne and RunOneOn — both or neither is a configuration bug that
+// Run reports before any work starts.
+func TestScenarioExactlyOneRunner(t *testing.T) {
+	runOne := func(i int, _ sim.Stream) (int, error) { return i, nil }
+	runOn := func(_ any, i int, _ sim.Stream) (int, error) { return i, nil }
+	reduce := func([]int) (*Figure, error) { return &Figure{}, nil }
+	if _, err := Run(Scenario[int]{Units: 2, Reduce: reduce}, Tiny()); err == nil {
+		t.Error("scenario with neither RunOne nor RunOneOn accepted")
+	}
+	if _, err := Run(Scenario[int]{Units: 2, RunOne: runOne, RunOneOn: runOn, Reduce: reduce}, Tiny()); err == nil {
+		t.Error("scenario with both RunOne and RunOneOn accepted")
+	}
+}
+
+// TestScenarioWorkerState: RunOneOn receives the value NewWorker built
+// for the executing worker, once per worker goroutine.
+func TestScenarioWorkerState(t *testing.T) {
+	type arena struct{ tag string }
+	sc := Tiny()
+	sc.Workers = 3
+	units := 12
+	seen := make([]string, units)
+	_, err := Run(Scenario[int]{
+		Units:     units,
+		NewWorker: func() any { return &arena{tag: "built"} },
+		RunOneOn: func(ws any, i int, _ sim.Stream) (int, error) {
+			a, ok := ws.(*arena)
+			if !ok || a == nil {
+				t.Errorf("unit %d: worker state %T, want *arena", i, ws)
+				return 0, nil
+			}
+			seen[i] = a.tag
+			return i, nil
+		},
+		Reduce: func([]int) (*Figure, error) { return &Figure{}, nil },
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tag := range seen {
+		if tag != "built" {
+			t.Fatalf("unit %d did not receive NewWorker state", i)
+		}
+	}
+}

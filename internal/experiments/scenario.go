@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"csmabw/internal/runner"
 	"csmabw/internal/sim"
 )
@@ -26,19 +28,37 @@ type Scenario[T any] struct {
 	// arguments: any randomness comes from stream (or another
 	// index-derived source), never from shared mutable state, so unit i
 	// computes the same value whether units run serially or on any
-	// number of workers.
+	// number of workers. Exactly one of RunOne and RunOneOn must be set.
 	RunOne func(i int, stream sim.Stream) (T, error)
+	// NewWorker, when set alongside RunOneOn, builds one private state
+	// value per worker goroutine — typically a *probe.TrainMeter whose
+	// simulation engine is reused across the units that worker executes.
+	// Optional; with RunOneOn and a nil NewWorker every unit receives a
+	// nil state.
+	NewWorker func() any
+	// RunOneOn is RunOne with per-worker state: ws is the value
+	// NewWorker built for the executing worker. The purity contract is
+	// unchanged — ws is an arena or cache, never accumulated statistics,
+	// so unit i's value is independent of which worker runs it and what
+	// that worker ran before. Exactly one of RunOne and RunOneOn must be
+	// set.
+	RunOneOn func(ws any, i int, stream sim.Stream) (T, error)
 	// Reduce merges the results, ordered by unit index independent of
 	// completion order, into the figure.
 	Reduce func(results []T) (*Figure, error)
 }
 
 // Run executes the scenario on a worker pool of sc.Workers goroutines
-// (GOMAXPROCS when zero). For a given seed the returned figure is
-// byte-identical at every worker count.
+// (GOMAXPROCS when zero), with units claimed in contiguous batches and
+// — when the scenario provides NewWorker/RunOneOn — per-worker state
+// reused across the units each worker executes. For a given seed the
+// returned figure is byte-identical at every worker count.
 func Run[T any](s Scenario[T], sc Scale) (*Figure, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
+	}
+	if (s.RunOne == nil) == (s.RunOneOn == nil) {
+		return nil, fmt.Errorf("experiments: scenario must set exactly one of RunOne and RunOneOn")
 	}
 	if s.Build != nil {
 		if err := s.Build(); err != nil {
@@ -46,9 +66,16 @@ func Run[T any](s Scenario[T], sc Scale) (*Figure, error) {
 		}
 	}
 	root := sim.NewStream(s.Seed)
-	results, err := runner.Map(s.Units, sc.Workers, func(i int) (T, error) {
-		return s.RunOne(i, root.Child(uint64(i)))
-	})
+	run := s.RunOneOn
+	if run == nil {
+		run = func(_ any, i int, stream sim.Stream) (T, error) {
+			return s.RunOne(i, stream)
+		}
+	}
+	results, err := runner.MapBatches(s.Units, sc.Workers, 0, s.NewWorker,
+		func(ws any, i int) (T, error) {
+			return run(ws, i, root.Child(uint64(i)))
+		})
 	if err != nil {
 		return nil, err
 	}

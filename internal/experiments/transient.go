@@ -69,10 +69,25 @@ func (p TransientParams) link() probe.Link {
 	}
 }
 
-// runOne is the shared replication unit of the transient drivers: one
-// independent probing train, derived purely from (params, rep).
-func (p TransientParams) runOne(rep int, _ sim.Stream) (probe.TrainSample, error) {
-	return probe.MeasureTrainOne(p.link(), p.TrainLen, p.ProbeRateBps, rep)
+// trainScenario is the shared skeleton of the transient drivers: the
+// train plan resolved once in Build, one engine-reusing meter per
+// worker, and a replication unit derived purely from (params, rep) —
+// the meter never changes a measured value. Callers fill in Reduce.
+func (p TransientParams) trainScenario(units int) Scenario[probe.TrainSample] {
+	var plan *probe.TrainPlan
+	return Scenario[probe.TrainSample]{
+		Seed:  p.Seed,
+		Units: units,
+		Build: func() error {
+			var err error
+			plan, err = probe.PlanTrain(p.link(), p.TrainLen, p.ProbeRateBps)
+			return err
+		},
+		NewWorker: func() any { return &probe.TrainMeter{} },
+		RunOneOn: func(ws any, rep int, _ sim.Stream) (probe.TrainSample, error) {
+			return plan.MeasureOne(ws.(*probe.TrainMeter), rep)
+		},
+	}
 }
 
 // rows converts ordered replication samples to the per-replication
@@ -86,84 +101,78 @@ func rows(samples []probe.TrainSample) (delays, queues [][]float64) {
 // each of the first `show` probe packets across replications, exposing
 // the transient acceleration of early packets.
 func Fig6MeanAccessDelay(p TransientParams, sc Scale, show int) (*Figure, error) {
-	return Run(Scenario[probe.TrainSample]{
-		Seed:   p.Seed,
-		Units:  sc.Reps,
-		RunOne: p.runOne,
-		Reduce: func(samples []probe.TrainSample) (*Figure, error) {
-			delays, _ := rows(samples)
-			means := stats.RunningMeans(delays)
-			n := show
-			if n > len(means) {
-				n = len(means)
-			}
-			s := Series{Name: "mean access delay (ms)"}
-			for i := 0; i < n; i++ {
-				s.X = append(s.X, float64(i+1))
-				s.Y = append(s.Y, means[i]*1e3)
-			}
-			return &Figure{
-				ID:     "fig06",
-				Title:  "Mean access delay vs probe packet number",
-				XLabel: "packet #",
-				YLabel: "access delay (ms)",
-				Series: []Series{s},
-			}, nil
-		},
-	}, sc)
+	scen := p.trainScenario(sc.Reps)
+	scen.Reduce = func(samples []probe.TrainSample) (*Figure, error) {
+		delays, _ := rows(samples)
+		means := stats.RunningMeans(delays)
+		n := show
+		if n > len(means) {
+			n = len(means)
+		}
+		s := Series{Name: "mean access delay (ms)"}
+		for i := 0; i < n; i++ {
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, means[i]*1e3)
+		}
+		return &Figure{
+			ID:     "fig06",
+			Title:  "Mean access delay vs probe packet number",
+			XLabel: "packet #",
+			YLabel: "access delay (ms)",
+			Series: []Series{s},
+		}, nil
+	}
+	return Run(scen, sc)
 }
 
 // Fig7Histograms reproduces Figure 7: the access-delay histogram of the
 // first packet against that of a late (steady-state) packet.
 func Fig7Histograms(p TransientParams, sc Scale, latePacket, bins int) (*Figure, error) {
-	return Run(Scenario[probe.TrainSample]{
-		Seed:   p.Seed,
-		Units:  sc.Reps,
-		RunOne: p.runOne,
-		Reduce: func(samples []probe.TrainSample) (*Figure, error) {
-			delays, _ := rows(samples)
-			first := stats.Column(delays, 0)
-			lateIdx := latePacket
-			if lateIdx >= p.TrainLen {
-				lateIdx = p.TrainLen - 1
+	scen := p.trainScenario(sc.Reps)
+	scen.Reduce = func(samples []probe.TrainSample) (*Figure, error) {
+		delays, _ := rows(samples)
+		first := stats.Column(delays, 0)
+		lateIdx := latePacket
+		if lateIdx >= p.TrainLen {
+			lateIdx = p.TrainLen - 1
+		}
+		late := stats.Column(delays, lateIdx)
+		if len(first) == 0 || len(late) == 0 {
+			return nil, fmt.Errorf("experiments: no samples for histogram")
+		}
+		// Shared range across both histograms.
+		lo, hi := first[0], first[0]
+		for _, v := range append(append([]float64{}, first...), late...) {
+			if v < lo {
+				lo = v
 			}
-			late := stats.Column(delays, lateIdx)
-			if len(first) == 0 || len(late) == 0 {
-				return nil, fmt.Errorf("experiments: no samples for histogram")
+			if v > hi {
+				hi = v
 			}
-			// Shared range across both histograms.
-			lo, hi := first[0], first[0]
-			for _, v := range append(append([]float64{}, first...), late...) {
-				if v < lo {
-					lo = v
-				}
-				if v > hi {
-					hi = v
-				}
-			}
-			if hi == lo {
-				hi = lo + 1e-6
-			}
-			h1 := stats.NewHistogram(first, lo, hi, bins)
-			h2 := stats.NewHistogram(late, lo, hi, bins)
-			s1 := Series{Name: "packet 1"}
-			s2 := Series{Name: fmt.Sprintf("packet %d", lateIdx+1)}
-			for i := 0; i < bins; i++ {
-				x := h1.BinCenter(i) * 1e3 // ms
-				s1.X = append(s1.X, x)
-				s1.Y = append(s1.Y, float64(h1.Counts[i]))
-				s2.X = append(s2.X, x)
-				s2.Y = append(s2.Y, float64(h2.Counts[i]))
-			}
-			return &Figure{
-				ID:     "fig07",
-				Title:  "Access delay histograms: first vs late packet",
-				XLabel: "access delay (ms)",
-				YLabel: "count",
-				Series: []Series{s1, s2},
-			}, nil
-		},
-	}, sc)
+		}
+		if hi == lo {
+			hi = lo + 1e-6
+		}
+		h1 := stats.NewHistogram(first, lo, hi, bins)
+		h2 := stats.NewHistogram(late, lo, hi, bins)
+		s1 := Series{Name: "packet 1"}
+		s2 := Series{Name: fmt.Sprintf("packet %d", lateIdx+1)}
+		for i := 0; i < bins; i++ {
+			x := h1.BinCenter(i) * 1e3 // ms
+			s1.X = append(s1.X, x)
+			s1.Y = append(s1.Y, float64(h1.Counts[i]))
+			s2.X = append(s2.X, x)
+			s2.Y = append(s2.Y, float64(h2.Counts[i]))
+		}
+		return &Figure{
+			ID:     "fig07",
+			Title:  "Access delay histograms: first vs late packet",
+			XLabel: "access delay (ms)",
+			YLabel: "count",
+			Series: []Series{s1, s2},
+		}, nil
+	}
+	return Run(scen, sc)
 }
 
 // KSOptions configures the per-index KS analysis of Figures 8 and 9.
@@ -190,60 +199,57 @@ func DefaultKSOptions(trainLen int) KSOptions {
 // steady-state pool, the 95% threshold line, and (when queue samples
 // exist) the mean contender queue length per index.
 func FigKS(id string, p TransientParams, sc Scale, opt KSOptions) (*Figure, error) {
-	return Run(Scenario[probe.TrainSample]{
-		Seed:   p.Seed,
-		Units:  sc.Reps,
-		RunOne: p.runOne,
-		Reduce: func(samples []probe.TrainSample) (*Figure, error) {
-			delays, queues := rows(samples)
-			tail := stats.Tail(delays, opt.TailFrom)
-			if len(tail) == 0 {
-				return nil, fmt.Errorf("experiments: empty steady-state pool (TailFrom=%d)", opt.TailFrom)
+	scen := p.trainScenario(sc.Reps)
+	scen.Reduce = func(samples []probe.TrainSample) (*Figure, error) {
+		delays, queues := rows(samples)
+		tail := stats.Tail(delays, opt.TailFrom)
+		if len(tail) == 0 {
+			return nil, fmt.Errorf("experiments: empty steady-state pool (TailFrom=%d)", opt.TailFrom)
+		}
+		// The steady-state pool is large (reps × tail indices) and
+		// every packet index tests against it: sort it once.
+		tailECDF := stats.NewECDF(tail)
+		ksS := Series{Name: "KS value"}
+		thrS := Series{Name: "threshold 95% CI"}
+		if opt.Packets > p.TrainLen {
+			opt.Packets = p.TrainLen
+		}
+		for i := 0; i < opt.Packets; i++ {
+			col := stats.Column(delays, i)
+			if len(col) == 0 {
+				continue
 			}
-			// The steady-state pool is large (reps × tail indices) and
-			// every packet index tests against it: sort it once.
-			tailECDF := stats.NewECDF(tail)
-			ksS := Series{Name: "KS value"}
-			thrS := Series{Name: "threshold 95% CI"}
-			if opt.Packets > p.TrainLen {
-				opt.Packets = p.TrainLen
+			var res stats.KSResult
+			if opt.Interpolate {
+				res = stats.KSTwoSampleInterpECDF(col, tailECDF, opt.Alpha)
+			} else {
+				res = stats.KSTwoSampleECDF(col, tailECDF, opt.Alpha)
 			}
-			for i := 0; i < opt.Packets; i++ {
-				col := stats.Column(delays, i)
-				if len(col) == 0 {
-					continue
-				}
-				var res stats.KSResult
-				if opt.Interpolate {
-					res = stats.KSTwoSampleInterpECDF(col, tailECDF, opt.Alpha)
-				} else {
-					res = stats.KSTwoSampleECDF(col, tailECDF, opt.Alpha)
-				}
-				x := float64(i + 1)
-				ksS.X = append(ksS.X, x)
-				ksS.Y = append(ksS.Y, res.D)
-				thrS.X = append(thrS.X, x)
-				thrS.Y = append(thrS.Y, res.Threshold)
+			x := float64(i + 1)
+			ksS.X = append(ksS.X, x)
+			ksS.Y = append(ksS.Y, res.D)
+			thrS.X = append(thrS.X, x)
+			thrS.Y = append(thrS.Y, res.Threshold)
+		}
+		fig := &Figure{
+			ID:     id,
+			Title:  "KS test of per-packet access delay vs steady state",
+			XLabel: "packet #",
+			YLabel: "KS value",
+			Series: []Series{ksS, thrS},
+		}
+		if len(queues) > 0 && len(queues[0]) > 0 {
+			qMeans := stats.RunningMeans(queues)
+			qS := Series{Name: "mean contender queue (pkts)"}
+			for i := 0; i < opt.Packets && i < len(qMeans); i++ {
+				qS.X = append(qS.X, float64(i+1))
+				qS.Y = append(qS.Y, qMeans[i])
 			}
-			fig := &Figure{
-				ID:     id,
-				Title:  "KS test of per-packet access delay vs steady state",
-				XLabel: "packet #",
-				YLabel: "KS value",
-				Series: []Series{ksS, thrS},
-			}
-			if len(queues) > 0 && len(queues[0]) > 0 {
-				qMeans := stats.RunningMeans(queues)
-				qS := Series{Name: "mean contender queue (pkts)"}
-				for i := 0; i < opt.Packets && i < len(qMeans); i++ {
-					qS.X = append(qS.X, float64(i+1))
-					qS.Y = append(qS.Y, qMeans[i])
-				}
-				fig.Series = append(fig.Series, qS)
-			}
-			return fig, nil
-		},
-	}, sc)
+			fig.Series = append(fig.Series, qS)
+		}
+		return fig, nil
+	}
+	return Run(scen, sc)
 }
 
 // Fig10Params configures the transient-duration study of Figure 10.

@@ -443,47 +443,104 @@ type Engine struct {
 
 // New validates the configuration and prepares an engine.
 func New(cfg Config) (*Engine, error) {
-	if err := cfg.Phy.Validate(); err != nil {
+	e := &Engine{}
+	if err := e.init(cfg); err != nil {
 		return nil, err
+	}
+	return e, nil
+}
+
+// Reset reinitialises the engine for a fresh run of cfg, reusing the
+// memory the previous run grew: the frame slab arena, the station
+// structs and their FIFO backing arrays, the arrival heap, the result
+// buffers and the busy-period scratch. After a successful Reset the
+// engine behaves byte-identically — RNG draw order included — to a
+// freshly constructed New(cfg), so a worker that measures a batch of
+// replications on one engine produces exactly the replications it
+// would have produced on a fresh engine each time; the reuse
+// equivalence is pinned by TestResetEquivalence and all golden figure
+// snapshots.
+//
+// Reset invalidates the Result of the previous Run and every *Frame it
+// referenced: the arena recycles their storage. Callers must copy what
+// they need out of a Result before resetting (the probe layer copies
+// departures and delays into its TrainSample, so the batched train
+// path satisfies this naturally).
+//
+// If cfg fails validation, Reset returns the error and the engine is
+// no longer usable — validation runs against the engine's new state,
+// so a failed Reset leaves neither the old nor the new configuration
+// intact.
+func (e *Engine) Reset(cfg Config) error {
+	return e.init(cfg)
+}
+
+// init is the shared construction path of New and Reset: validate cfg,
+// then (re)build every piece of engine state, reusing allocations left
+// from a previous run where shapes allow.
+func (e *Engine) init(cfg Config) error {
+	if err := cfg.Phy.Validate(); err != nil {
+		return err
 	}
 	if len(cfg.Stations) == 0 {
-		return nil, fmt.Errorf("mac: no stations configured")
+		return fmt.Errorf("mac: no stations configured")
 	}
 	if err := cfg.Channel.Loss.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.Channel.CaptureThresholdDB < 0 {
-		return nil, fmt.Errorf("mac: negative capture threshold %g dB", cfg.Channel.CaptureThresholdDB)
+		return fmt.Errorf("mac: negative capture threshold %g dB", cfg.Channel.CaptureThresholdDB)
 	}
 	if t := cfg.Channel.Topology; t != nil {
 		if err := t.Validate(len(cfg.Stations)); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	base := sim.NewRand(cfg.Seed)
-	e := &Engine{cfg: cfg, phy: cfg.Phy, topo: cfg.Channel.Topology}
+	nSt := len(cfg.Stations)
+	e.cfg = cfg
+	e.phy = cfg.Phy
+	e.topo = cfg.Channel.Topology
+	e.now = 0
+	e.nActive = 0
 	e.multi = e.topo != nil && !e.topo.IsFullMesh()
 	e.captureOn = cfg.Channel.CaptureThresholdDB > 0
 	e.lossy = !cfg.Channel.Loss.IsZero()
+	e.arrHeap.reset()
+	e.arena.reset()
+	if len(e.stations) != nSt {
+		e.stations = make([]*station, nSt)
+		for i := range e.stations {
+			e.stations[i] = &station{}
+		}
+	}
 	for i, sc := range cfg.Stations {
 		src := sc.Source
 		if src == nil {
 			if err := traffic.Validate(sc.Arrivals); err != nil {
-				return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+				return fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
 			}
 			src = traffic.FromSchedule(sc.Arrivals)
 		}
 		loss := cfg.Channel.Loss
 		if sc.Loss != nil {
 			if err := sc.Loss.Validate(); err != nil {
-				return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+				return fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
 			}
 			loss = *sc.Loss
 			if !loss.IsZero() {
 				e.lossy = true
 			}
 		}
-		s := &station{
+		// Rebuild the station in place, keeping its FIFO backing array
+		// and its generator object; the generator is reseeded below with
+		// exactly the draw Split would have made, in station order.
+		s := e.stations[i]
+		rng := s.rng
+		if rng == nil {
+			rng = &sim.Rand{}
+		}
+		*s = station{
 			id:      i,
 			name:    sc.Name,
 			src:     src,
@@ -491,21 +548,37 @@ func New(cfg Config) (*Engine, error) {
 			backoff: -1,
 			power:   sc.PowerDB,
 			loss:    loss,
-			rng:     base.Split(uint64(i) + 1),
+			rng:     rng,
+			queue:   s.queue[:0],
 		}
+		base.SplitInto(uint64(i)+1, rng)
 		if err := e.resolveEDCA(s, sc); err != nil {
-			return nil, fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
+			return fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
 		}
-		e.stations = append(e.stations, s)
 	}
 	// Derived after the station loop so the stations' substreams stay
 	// identical to the pre-extension engine.
-	e.chrng = base.Split(0xC11A17)
-	e.res = &Result{
-		Frames: make([][]*Frame, len(e.stations)),
-		Stats:  make([]StationStats, len(e.stations)),
+	if e.chrng == nil {
+		e.chrng = &sim.Rand{}
 	}
-	e.record = make([]bool, len(e.stations))
+	base.SplitInto(0xC11A17, e.chrng)
+	if e.res == nil || len(e.res.Frames) != nSt {
+		e.res = &Result{
+			Frames: make([][]*Frame, nSt),
+			Stats:  make([]StationStats, nSt),
+		}
+	} else {
+		for i := range e.res.Frames {
+			e.res.Frames[i] = e.res.Frames[i][:0]
+		}
+		for i := range e.res.Stats {
+			e.res.Stats[i] = StationStats{}
+		}
+		e.res.End = 0
+	}
+	if len(e.record) != nSt {
+		e.record = make([]bool, nSt)
+	}
 	for i := range e.record {
 		e.record[i] = cfg.RecordFrames == nil || cfg.RecordFrames(i)
 	}
@@ -516,12 +589,12 @@ func New(cfg Config) (*Engine, error) {
 			e.arrHeap.push(s)
 		}
 	}
-	if e.multi {
-		e.frozenScratch = make([]sim.Time, len(e.stations))
-		e.heardScratch = make([]bool, len(e.stations))
-		e.clusterScratch = make([]bool, len(e.stations))
+	if e.multi && len(e.frozenScratch) != nSt {
+		e.frozenScratch = make([]sim.Time, nSt)
+		e.heardScratch = make([]bool, nSt)
+		e.clusterScratch = make([]bool, nSt)
 	}
-	return e, nil
+	return nil
 }
 
 // resolveEDCA fixes the station's contention parameters and data rate
@@ -670,7 +743,9 @@ func (e *Engine) senseStart(s *station) sim.Time {
 }
 
 // Run executes the scenario to completion and returns the result.
-// It may only be called once per Engine.
+// It may only be called once per New or Reset; to run another
+// scenario on the same engine (reusing its arenas and scratch),
+// Reset it first.
 func (e *Engine) Run() *Result {
 	horizon := e.cfg.Horizon
 	if horizon == 0 {

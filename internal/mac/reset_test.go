@@ -1,0 +1,133 @@
+package mac
+
+import (
+	"testing"
+
+	"csmabw/internal/sim"
+)
+
+// Engine.Reset promises that a reused engine is indistinguishable from
+// a fresh one: same results to the byte (RNG draw order included), and
+// near-zero allocations per reused run. These tests pin both halves.
+
+// compareResults fails the test unless a and b are deep-equal: same end
+// time, same per-station stats, same frame values in the same order.
+func compareResults(t *testing.T, ctx string, a, b *Result) {
+	t.Helper()
+	if a.End != b.End {
+		t.Fatalf("%s: End %v vs %v", ctx, a.End, b.End)
+	}
+	if len(a.Stats) != len(b.Stats) {
+		t.Fatalf("%s: %d vs %d stations", ctx, len(a.Stats), len(b.Stats))
+	}
+	for s := range a.Stats {
+		if a.Stats[s] != b.Stats[s] {
+			t.Fatalf("%s station %d: stats %+v vs %+v", ctx, s, a.Stats[s], b.Stats[s])
+		}
+		if len(a.Frames[s]) != len(b.Frames[s]) {
+			t.Fatalf("%s station %d: %d vs %d frames", ctx, s, len(a.Frames[s]), len(b.Frames[s]))
+		}
+		for j := range a.Frames[s] {
+			if *a.Frames[s][j] != *b.Frames[s][j] {
+				t.Fatalf("%s station %d frame %d: %+v vs %+v", ctx, s, j, *a.Frames[s][j], *b.Frames[s][j])
+			}
+		}
+	}
+}
+
+// TestResetEquivalence is the reuse-equivalence property test: an
+// engine that already ran one randomized scenario and is Reset to a
+// second, unrelated randomized scenario must reproduce the second
+// scenario's fresh-engine result exactly. The first scenario varies per
+// trial, so the reused state (arena fill, station count, queue
+// capacities, scratch sizes) differs from the target shape in every way
+// the generator can produce.
+func TestResetEquivalence(t *testing.T) {
+	const trials = 30
+	r := sim.NewRand(0x5e7)
+	horizon := sim.FromSeconds(0.15)
+	for trial := 0; trial < trials; trial++ {
+		cfgA := randomConfig(r, horizon)
+		cfgB := randomConfig(r, horizon)
+		fresh, err := Run(cfgB)
+		if err != nil {
+			t.Fatalf("trial %d: fresh run: %v", trial, err)
+		}
+		e, err := New(cfgA)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		e.Run()
+		if err := e.Reset(cfgB); err != nil {
+			t.Fatalf("trial %d: reset: %v", trial, err)
+		}
+		compareResults(t, "reused", fresh, e.Run())
+	}
+}
+
+// TestResetSameConfigRepeats pins the simplest reuse contract — the one
+// the batched replication path exercises thousands of times: Reset to
+// the same config, run again, get the identical result, indefinitely.
+func TestResetSameConfigRepeats(t *testing.T) {
+	cfg := hotScenario(11, false)
+	fresh, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		if round > 0 {
+			if err := e.Reset(cfg); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		compareResults(t, "round", fresh, e.Run())
+	}
+}
+
+// TestResetInvalidConfig asserts a Reset to a broken config surfaces
+// the validation error (the engine is documented unusable afterwards).
+func TestResetInvalidConfig(t *testing.T) {
+	cfg := hotScenario(5, false)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.Reset(Config{Phy: cfg.Phy}); err == nil {
+		t.Fatal("Reset accepted a config with no stations")
+	}
+}
+
+// TestResetRunAllocBound pins the point of engine reuse: once warmed,
+// a Reset+Run replication must not allocate per frame — the arena,
+// heap, queues, result buffers and scratch all come from the previous
+// run. The budget is a small constant (source wrappers and closure
+// boxing), orders of magnitude below the thousands of frames delivered.
+func TestResetRunAllocBound(t *testing.T) {
+	cfg := hotScenario(7, false)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run() // warm: grows arena, queues and result slices
+	delivered := 0
+	for _, st := range res.Stats {
+		delivered += st.Delivered
+	}
+	if delivered < 1000 {
+		t.Fatalf("scenario too small to be meaningful: %d delivered", delivered)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := e.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+	})
+	if allocs > 16 {
+		t.Fatalf("%.0f allocations per reused replication of %d frames, want <= 16", allocs, delivered)
+	}
+}

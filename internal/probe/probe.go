@@ -246,27 +246,94 @@ func (l Link) stations(station0 []traffic.Source, r *sim.Rand, end sim.Time) []m
 	return out
 }
 
+// TrainMeter is a per-worker measurement context: it owns one
+// mac.Engine that is Reset — arenas, station state and scratch reused —
+// between the train replications measured through it, so a replication
+// allocates almost nothing beyond its own TrainSample. A meter must
+// only be used serially (one per worker goroutine; runner.MapBatches
+// builds exactly that), and reuse never changes a measured value: a
+// Reset engine is byte-identical to a fresh one. The zero value is
+// ready to use.
+type TrainMeter struct {
+	eng *mac.Engine
+}
+
+// run executes cfg on the meter's reused engine, constructing it on
+// first use. A nil meter falls back to a fresh engine per call.
+func (m *TrainMeter) run(cfg mac.Config) (*mac.Result, error) {
+	if m == nil {
+		return mac.Run(cfg)
+	}
+	if m.eng == nil {
+		e, err := mac.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.eng = e
+	} else if err := m.eng.Reset(cfg); err != nil {
+		// A failed Reset leaves the engine unusable; drop it so a later
+		// valid config rebuilds from scratch.
+		m.eng = nil
+		return nil, err
+	}
+	return m.eng.Run(), nil
+}
+
+// TrainPlan is a train measurement whose per-replication-invariant
+// preparation — defaults resolution, train-length validation, input-gap
+// derivation — has been done once, up front. Replications then only
+// build their (cheap, per-seed) scenario and run it, which is what the
+// batched figure drivers execute tens of thousands of times.
+type TrainPlan struct {
+	link Link
+	n    int
+	gI   sim.Time
+}
+
+// PlanTrain resolves an n-packet train measurement at probing rate
+// rateBps over link l into a TrainPlan. The returned plan is immutable
+// and safe to share across worker goroutines.
+func PlanTrain(l Link, n int, rateBps float64) (*TrainPlan, error) {
+	l, gI, err := l.trainSetup(n, rateBps)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainPlan{link: l, n: n, gI: gI}, nil
+}
+
+// MeasureOne runs replication rep of the plan on meter m, reusing m's
+// engine across calls; a nil meter uses a fresh engine. The sample is a
+// pure function of (plan, rep) — the meter is an arena, never state
+// that leaks between replications.
+func (p *TrainPlan) MeasureOne(m *TrainMeter, rep int) (TrainSample, error) {
+	return p.link.measureTrainOnce(m, p.n, p.gI, int64(rep))
+}
+
 // MeasureTrain sends reps independent replications of an n-packet train
 // with input gap corresponding to rateBps and collects the dispersion
 // and per-index access delays. Replications run on a worker pool of
-// l.Workers goroutines (GOMAXPROCS when zero); each replication's
-// randomness is derived purely from (l.Seed, replication index), so the
-// result is identical at any worker count.
+// l.Workers goroutines (GOMAXPROCS when zero), claimed in contiguous
+// batches, with each worker reusing one simulation engine (TrainMeter)
+// across the replications it executes; each replication's randomness is
+// derived purely from (l.Seed, replication index), so the result is
+// identical at any worker count and chunking.
 func MeasureTrain(l Link, n int, rateBps float64, reps int) (*TrainStats, error) {
-	l, gI, err := l.trainSetup(n, rateBps)
+	plan, err := PlanTrain(l, n, rateBps)
 	if err != nil {
 		return nil, err
 	}
 	if reps < 1 {
 		return nil, fmt.Errorf("probe: %d replications", reps)
 	}
-	samples, err := runner.Map(reps, l.Workers, func(rep int) (TrainSample, error) {
-		return l.measureTrainOnce(n, gI, int64(rep))
-	})
+	samples, err := runner.MapBatches(reps, l.Workers, 0,
+		func() *TrainMeter { return &TrainMeter{} },
+		func(m *TrainMeter, rep int) (TrainSample, error) {
+			return plan.MeasureOne(m, rep)
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &TrainStats{N: n, GI: gI, L: l.ProbeSize, Reps: reps, Samples: samples}, nil
+	return &TrainStats{N: n, GI: plan.gI, L: plan.link.ProbeSize, Reps: reps, Samples: samples}, nil
 }
 
 // trainSetup is the shared preparation of a train measurement: defaults
@@ -294,12 +361,13 @@ func MeasureTrainOne(l Link, n int, rateBps float64, rep int) (TrainSample, erro
 	if err != nil {
 		return TrainSample{}, err
 	}
-	return l.measureTrainOnce(n, gI, int64(rep))
+	return l.measureTrainOnce(nil, n, gI, int64(rep))
 }
 
-// measureTrainOnce runs replication rep of the n-packet train. It is a
-// pure function of (l, n, gI, rep) — the determinism unit the worker
-// pool relies on.
+// measureTrainOnce runs replication rep of the n-packet train on meter
+// m (nil for a fresh engine). It is a pure function of (l, n, gI, rep)
+// — the determinism unit the worker pool relies on; the meter only
+// changes where the engine's memory comes from.
 //
 // The run stops the instant the train is fully resolved — every probe
 // packet delivered or dropped by the retry limit — instead of grinding
@@ -309,7 +377,7 @@ func MeasureTrainOne(l Link, n int, rateBps float64, rep int) (TrainSample, erro
 // Cross-traffic stations' frames are not retained at all (the sample
 // never reads them), and a run that hits the horizon with unresolved
 // probes is flagged Truncated.
-func (l Link) measureTrainOnce(n int, gI sim.Time, rep int64) (TrainSample, error) {
+func (l Link) measureTrainOnce(m *TrainMeter, n int, gI sim.Time, rep int64) (TrainSample, error) {
 	cfg, end := l.scenario(n, gI, rep)
 	sample := TrainSample{
 		Departures:   make([]sim.Time, n),
@@ -343,7 +411,7 @@ func (l Link) measureTrainOnce(n int, gI sim.Time, rep int64) (TrainSample, erro
 	cfg.StopWhen = func() bool { return resolved >= n }
 	cfg.RecordFrames = func(station int) bool { return station == 0 }
 	cfg.Horizon = end
-	res, err := mac.Run(cfg)
+	res, err := m.run(cfg)
 	if err != nil {
 		return TrainSample{}, err
 	}

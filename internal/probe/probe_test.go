@@ -438,3 +438,84 @@ func TestRateEstimateAllTruncated(t *testing.T) {
 		t.Errorf("MeasurePair error = %v, want ErrNoEstimate", err)
 	}
 }
+
+// TestMeterReuseMatchesFreshEngines is the probe-level half of the
+// engine-reuse equivalence: a batch of replications measured through
+// one TrainMeter (one engine, Reset between trains — the batched
+// MeasureTrain path) must be byte-identical to the same replications
+// measured one fresh engine at a time via MeasureTrainOne.
+func TestMeterReuseMatchesFreshEngines(t *testing.T) {
+	l := Link{
+		Seed:       44,
+		Contenders: []Flow{{RateBps: 3e6, Size: 1500}},
+	}
+	const n, reps = 40, 8
+	const rate = 5e6
+	plan, err := PlanTrain(l, n, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &TrainMeter{}
+	for rep := 0; rep < reps; rep++ {
+		reused, err := plan.MeasureOne(m, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := MeasureTrainOne(l, n, rate, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused.GO != fresh.GO || reused.Truncated != fresh.Truncated {
+			t.Fatalf("rep %d: summary differs: reused %+v vs fresh %+v", rep, reused, fresh)
+		}
+		for i := range fresh.Departures {
+			if reused.Departures[i] != fresh.Departures[i] {
+				t.Fatalf("rep %d departure %d: %v vs %v", rep, i, reused.Departures[i], fresh.Departures[i])
+			}
+			if reused.AccessDelays[i] != fresh.AccessDelays[i] {
+				t.Fatalf("rep %d delay %d: %v vs %v", rep, i, reused.AccessDelays[i], fresh.AccessDelays[i])
+			}
+		}
+		if len(reused.QueueAtDepart) != len(fresh.QueueAtDepart) {
+			t.Fatalf("rep %d: queue samples %d vs %d", rep, len(reused.QueueAtDepart), len(fresh.QueueAtDepart))
+		}
+		for i := range fresh.QueueAtDepart {
+			if reused.QueueAtDepart[i] != fresh.QueueAtDepart[i] {
+				t.Fatalf("rep %d queue sample %d: %v vs %v", rep, i, reused.QueueAtDepart[i], fresh.QueueAtDepart[i])
+			}
+		}
+	}
+}
+
+// TestMeterRecoversFromBadConfig: a failed measurement through a meter
+// must not poison later measurements on the same meter.
+func TestMeterRecoversFromBadConfig(t *testing.T) {
+	good, err := PlanTrain(quietLink(9), 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &TrainMeter{}
+	if _, err := good.MeasureOne(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := quietLink(9)
+	bad.Loss = phy.ErrorModel{FER: 2} // invalid: probability > 1
+	badPlan, err := PlanTrain(bad, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := badPlan.MeasureOne(m, 0); err == nil {
+		t.Fatal("invalid loss model accepted")
+	}
+	after, err := good.MeasureOne(m, 3)
+	if err != nil {
+		t.Fatalf("meter unusable after failed measurement: %v", err)
+	}
+	fresh, err := good.MeasureOne(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.GO != fresh.GO {
+		t.Fatalf("post-failure measurement differs: %v vs %v", after.GO, fresh.GO)
+	}
+}

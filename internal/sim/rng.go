@@ -39,14 +39,23 @@ func NewRand(seed int64) *Rand {
 // mixes the label through splitmix64 so adjacent labels yield unrelated
 // streams.
 func (r *Rand) Split(label uint64) *Rand {
-	x := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
 	n := &Rand{}
-	n.s0 = splitmix64(&x)
-	n.s1 = splitmix64(&x)
-	if n.s0 == 0 && n.s1 == 0 {
-		n.s1 = 1
-	}
+	r.SplitInto(label, n)
 	return n
+}
+
+// SplitInto is Split writing the derived generator into dst instead of
+// allocating a new one — the reseeding primitive for engines that reuse
+// their per-station generators across replications (mac.Engine.Reset).
+// It consumes exactly the same parent state as Split, so a reseeded
+// generator is byte-identical to a freshly Split one.
+func (r *Rand) SplitInto(label uint64, dst *Rand) {
+	x := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
+	dst.s0 = splitmix64(&x)
+	dst.s1 = splitmix64(&x)
+	if dst.s0 == 0 && dst.s1 == 0 {
+		dst.s1 = 1
+	}
 }
 
 // Stream is a position in a deterministic tree of RNG substreams. It is

@@ -1,17 +1,37 @@
 // Command benchguard compares a freshly generated BENCH_runner.json
-// against the committed baseline and fails when any figure's
-// replication throughput regressed beyond the tolerance band. It is the
-// CI tripwire for the replication engine's headline metric: a change
-// that silently halves reps/sec on a dense figure fails the build
-// instead of landing unnoticed.
+// against the committed baseline and fails when the replication engine
+// regressed on any of its three guarded axes:
 //
-//	go run ./scripts/benchguard -baseline BENCH_baseline.json -current BENCH_runner.json -tolerance 0.5
+//   - throughput: a figure's replications-per-second fell beyond the
+//     tolerance band below its baseline;
+//   - allocations: a figure's allocations-per-replication grew beyond
+//     the alloc tolerance above its baseline (per-worker engine reuse
+//     is what keeps this near zero — a leak here silently re-inflates
+//     every replication);
+//   - scaling: the worker sweep's workers=N-vs-workers=1 throughput
+//     ratio fell below the scaling floor (batched claiming is what
+//     keeps the sweep off the old plateau).
+//
+// Usage:
+//
+//	go run ./scripts/benchguard -baseline BENCH_baseline.json -current BENCH_runner.json \
+//	    -tolerance 0.5 -alloc-tolerance 1.0 -min-scaling-ratio 3.0
 //
 // Tolerance is the permitted fractional drop: 0.5 passes anything above
 // half the baseline throughput, a deliberately wide band because shared
-// CI runners jitter heavily. Figures present in only one file are
-// reported but never fail the run (new figures appear, scaling sweeps
-// change worker counts).
+// CI runners jitter heavily. Alloc tolerance is the permitted
+// fractional growth (1.0 = up to double the baseline); baselines
+// without alloc telemetry are skipped. Figures present in only one file
+// are reported but never fail the run (new figures appear, scaling
+// sweeps change worker counts).
+//
+// The scaling floor is hardware-aware. Sweep entries are recognised by
+// the `<figure>-scaling-workers<N>` id convention and carry the
+// gomaxprocs the benchmark ran under; the effective floor for a sweep
+// is the requested floor capped at 75% of the attainable parallelism
+// min(maxWorkers, gomaxprocs), and never below 0.7. So on a single-core
+// machine the gate only asserts that the worker pool costs (almost)
+// nothing, while a multi-core CI runner must show real speedup.
 package main
 
 import (
@@ -19,13 +39,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 type record struct {
-	WallSeconds        float64 `json:"wall_seconds"`
-	Replications       int     `json:"replications"`
-	ReplicationsPerSec float64 `json:"replications_per_sec"`
-	Workers            int     `json:"workers"`
+	WallSeconds          float64 `json:"wall_seconds"`
+	Replications         int     `json:"replications"`
+	ReplicationsPerSec   float64 `json:"replications_per_sec"`
+	Workers              int     `json:"workers"`
+	AllocsPerReplication float64 `json:"allocs_per_replication"`
+	Gomaxprocs           int     `json:"gomaxprocs"`
 }
 
 func load(path string) (map[string]record, error) {
@@ -55,6 +80,116 @@ func regressions(baseline, current map[string]record, tolerance float64) []strin
 				id, cur.ReplicationsPerSec, floor, base.ReplicationsPerSec, tolerance*100))
 		}
 	}
+	sort.Strings(out)
+	return out
+}
+
+// allocRegressions returns a line per figure whose current
+// allocations-per-replication grew beyond (1+tolerance) times the
+// baseline. Baselines without alloc telemetry (zero) are skipped, so
+// the gate arms itself the first time a baseline with the field lands.
+func allocRegressions(baseline, current map[string]record, tolerance float64) []string {
+	var out []string
+	for id, base := range baseline {
+		cur, ok := current[id]
+		if !ok || base.AllocsPerReplication <= 0 {
+			continue
+		}
+		ceil := base.AllocsPerReplication * (1 + tolerance)
+		if cur.AllocsPerReplication > ceil {
+			out = append(out, fmt.Sprintf("%s: %.0f allocs/replication, above ceiling %.0f (baseline %.0f, tolerance %.0f%%)",
+				id, cur.AllocsPerReplication, ceil, base.AllocsPerReplication, tolerance*100))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sweep is one figure's worker-scaling measurements, extracted from the
+// `<figure>-scaling-workers<N>` entries.
+type sweep struct {
+	rps        map[int]float64 // worker count -> reps/sec
+	gomaxprocs int
+}
+
+// scalingSweeps groups a telemetry file's scaling entries by figure.
+func scalingSweeps(m map[string]record) map[string]sweep {
+	const marker = "-scaling-workers"
+	out := map[string]sweep{}
+	for id, rec := range m {
+		at := strings.LastIndex(id, marker)
+		if at < 0 {
+			continue
+		}
+		w, err := strconv.Atoi(id[at+len(marker):])
+		if err != nil || w < 1 {
+			continue
+		}
+		fig := id[:at]
+		s, ok := out[fig]
+		if !ok {
+			s = sweep{rps: map[int]float64{}}
+		}
+		s.rps[w] = rec.ReplicationsPerSec
+		if rec.Gomaxprocs > s.gomaxprocs {
+			s.gomaxprocs = rec.Gomaxprocs
+		}
+		out[fig] = s
+	}
+	return out
+}
+
+// effectiveFloor caps the requested scaling floor by the parallelism
+// the recording machine could actually deliver: 75% efficiency of
+// min(maxWorkers, gomaxprocs), never below 0.7 (even a single core
+// must not make the worker pool materially slower than serial). An
+// unrecorded gomaxprocs (old telemetry) is treated as 1.
+func effectiveFloor(requested float64, maxWorkers, gomaxprocs int) float64 {
+	if gomaxprocs < 1 {
+		gomaxprocs = 1
+	}
+	attainable := maxWorkers
+	if gomaxprocs < attainable {
+		attainable = gomaxprocs
+	}
+	floor := requested
+	if cap := 0.75 * float64(attainable); cap < floor {
+		floor = cap
+	}
+	if floor < 0.7 {
+		floor = 0.7
+	}
+	return floor
+}
+
+// scalingViolations returns a line per scaling sweep whose
+// max-workers-vs-one-worker throughput ratio fell below the
+// hardware-capped floor. Sweeps without a workers=1 entry are skipped.
+func scalingViolations(current map[string]record, requestedFloor float64) []string {
+	var out []string
+	for fig, s := range scalingSweeps(current) {
+		base, ok := s.rps[1]
+		if !ok || base <= 0 {
+			continue
+		}
+		maxW := 1
+		for w := range s.rps {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if maxW == 1 {
+			continue
+		}
+		ratio := s.rps[maxW] / base
+		floor := effectiveFloor(requestedFloor, maxW, s.gomaxprocs)
+		if ratio < floor {
+			out = append(out, fmt.Sprintf(
+				"%s: workers=%d is %.2fx workers=1, below floor %.2f (requested %.2f, gomaxprocs %d)",
+				fig, maxW, ratio, floor, requestedFloor, s.gomaxprocs))
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -62,6 +197,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed BENCH_runner.json baseline")
 	currentPath := flag.String("current", "BENCH_runner.json", "freshly generated telemetry")
 	tolerance := flag.Float64("tolerance", 0.5, "permitted fractional reps/sec drop before failing")
+	allocTolerance := flag.Float64("alloc-tolerance", -1, "permitted fractional allocs/replication growth before failing (negative disables)")
+	minScalingRatio := flag.Float64("min-scaling-ratio", 0, "required workers=N vs workers=1 reps/sec ratio in the current scaling sweeps, capped by recorded gomaxprocs (0 disables)")
 	flag.Parse()
 	if *baselinePath == "" || *tolerance < 0 || *tolerance >= 1 {
 		fmt.Fprintln(os.Stderr, "benchguard: need -baseline and 0 <= -tolerance < 1")
@@ -87,9 +224,23 @@ func main() {
 			fmt.Printf("benchguard: note: %s present in current only\n", id)
 		}
 	}
-	if regs := regressions(baseline, current, *tolerance); len(regs) > 0 {
-		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION %s\n", r)
+	var failures []string
+	for _, r := range regressions(baseline, current, *tolerance) {
+		failures = append(failures, "REGRESSION "+r)
+	}
+	if *allocTolerance >= 0 {
+		for _, r := range allocRegressions(baseline, current, *allocTolerance) {
+			failures = append(failures, "ALLOC REGRESSION "+r)
+		}
+	}
+	if *minScalingRatio > 0 {
+		for _, r := range scalingViolations(current, *minScalingRatio) {
+			failures = append(failures, "SCALING "+r)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchguard: %s\n", f)
 		}
 		os.Exit(1)
 	}

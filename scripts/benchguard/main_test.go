@@ -26,3 +26,76 @@ func TestRegressions(t *testing.T) {
 		t.Fatalf("wide tolerance still flags: %v", regs)
 	}
 }
+
+func TestAllocRegressions(t *testing.T) {
+	baseline := map[string]record{
+		"fig06": {AllocsPerReplication: 100},
+		"fig07": {AllocsPerReplication: 100},
+		"old":   {AllocsPerReplication: 0}, // pre-telemetry baseline: skipped
+	}
+	current := map[string]record{
+		"fig06": {AllocsPerReplication: 150}, // within 2x ceiling
+		"fig07": {AllocsPerReplication: 250}, // blown past 2x
+		"old":   {AllocsPerReplication: 1e9}, // no armed baseline: ignored
+	}
+	regs := allocRegressions(baseline, current, 1.0)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0], "fig07:") {
+		t.Fatalf("alloc regressions = %v, want exactly fig07", regs)
+	}
+}
+
+func TestEffectiveFloor(t *testing.T) {
+	cases := []struct {
+		requested        float64
+		maxW, gomaxprocs int
+		want             float64
+	}{
+		{3.0, 8, 8, 3.0},  // plenty of cores: requested floor stands
+		{3.0, 8, 4, 3.0},  // 4 cores attainable: 0.75*4 = 3.0
+		{3.0, 8, 2, 1.5},  // 2 cores: capped at 0.75*2
+		{3.0, 8, 1, 0.75}, // single core: only "not slower than serial"
+		{3.0, 8, 0, 0.75}, // old telemetry without gomaxprocs
+		{3.0, 2, 8, 1.5},  // sweep itself only went to 2 workers
+		{0.5, 8, 8, 0.7},  // floor never drops below 0.7
+	}
+	for _, tc := range cases {
+		if got := effectiveFloor(tc.requested, tc.maxW, tc.gomaxprocs); got != tc.want {
+			t.Errorf("effectiveFloor(%g, %d, %d) = %g, want %g",
+				tc.requested, tc.maxW, tc.gomaxprocs, got, tc.want)
+		}
+	}
+}
+
+func TestScalingViolations(t *testing.T) {
+	current := map[string]record{
+		// fig06 scales well on an 8-core recording: no violation.
+		"fig06-scaling-workers1": {ReplicationsPerSec: 1000, Gomaxprocs: 8},
+		"fig06-scaling-workers8": {ReplicationsPerSec: 4000, Gomaxprocs: 8},
+		// fig09 plateaued on the same hardware: violation at floor 3.0.
+		"fig09-scaling-workers1": {ReplicationsPerSec: 1000, Gomaxprocs: 8},
+		"fig09-scaling-workers8": {ReplicationsPerSec: 1200, Gomaxprocs: 8},
+		// Non-sweep entries are ignored.
+		"fig06": {ReplicationsPerSec: 2400, Gomaxprocs: 8},
+	}
+	regs := scalingViolations(current, 3.0)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0], "fig09:") {
+		t.Fatalf("scaling violations = %v, want exactly fig09", regs)
+	}
+	// The same plateau on a single-core recording is not a violation —
+	// 1.2x is above the 0.75 single-core floor.
+	single := map[string]record{
+		"fig09-scaling-workers1": {ReplicationsPerSec: 1000, Gomaxprocs: 1},
+		"fig09-scaling-workers8": {ReplicationsPerSec: 1200, Gomaxprocs: 1},
+	}
+	if regs := scalingViolations(single, 3.0); len(regs) != 0 {
+		t.Fatalf("single-core sweep flagged: %v", regs)
+	}
+	// But the worker pool being materially slower than serial always is.
+	slower := map[string]record{
+		"fig09-scaling-workers1": {ReplicationsPerSec: 1000, Gomaxprocs: 1},
+		"fig09-scaling-workers8": {ReplicationsPerSec: 500, Gomaxprocs: 1},
+	}
+	if regs := scalingViolations(slower, 3.0); len(regs) != 1 {
+		t.Fatalf("parallel-slower-than-serial not flagged: %v", regs)
+	}
+}
