@@ -612,3 +612,15 @@ func BenchmarkAbestRobust(b *testing.B) {
 	// matrix — the robustness envelope of the best estimator.
 	b.ReportMetric(maxY(topp), "topp_worst_relerr_pct")
 }
+
+func BenchmarkAbestBudget(b *testing.B) {
+	fig := runFigure(b, "abest-budget")
+	eps := seriesByName(b, fig, "SLoPS eps_eff (%)")
+	// Headlines: the honesty gradient — the effective error bound SLoPS
+	// reports at the most starved budget vs at the richest one. The
+	// starved bound must be the (much) wider of the two.
+	if n := len(eps.Y); n > 0 {
+		b.ReportMetric(eps.Y[0], "slops_epseff_starved_pct")
+		b.ReportMetric(eps.Y[n-1], "slops_epseff_rich_pct")
+	}
+}

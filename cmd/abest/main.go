@@ -10,6 +10,7 @@
 //
 //	abest [-est all|topp|slops|adaptive] [-cross MBPS] [-fifo MBPS]
 //	      [-target REL] [-resolution MBPS]
+//	      [-max-probe-seconds S] [-max-packets N]
 //	      [-fer F] [-ber B] [-topology mesh|hidden|chain] [-capture DB]
 //	      [-ac legacy|bk|be|vi|vo,...] [-rates MBPS,...]
 //	      [-scale tiny|default|paper] [-reps N] [-seconds S]
@@ -18,9 +19,19 @@
 // -ac/-rates configure the probing station (first entry) and the
 // contender (second entry), or broadcast a single entry to both. The
 // output is one row per estimator (1=TOPP, 2=SLoPS, 3=adaptive) with
-// the estimate, its 95% confidence half-width, and the probing cost
-// that bought it, next to the ground-truth row measured on the same
+// the estimate, its 95% confidence half-width, the probing cost that
+// bought it, and a truncation flag (0=ran to completion, 1=time cap,
+// 2=packet cap), next to the ground-truth row measured on the same
 // link. -points is accepted (shared harness) but has no effect here.
+//
+// -max-probe-seconds and -max-packets impose a hard probing budget on
+// every campaign. A capped campaign still reports its best estimate —
+// with the effective (honest, possibly wide) confidence half-width the
+// evidence supports — and flags which cap cut it short:
+//
+//	abest -max-packets 500            # at most 500 probe packets/campaign
+//	abest -max-probe-seconds 2 -est slops
+//	abest -max-packets 1000 -max-probe-seconds 5 -fer 0.03
 package main
 
 import (
@@ -46,6 +57,7 @@ type abestConfig struct {
 	fifo       float64 // Mb/s
 	target     float64 // relative CI95 target
 	resolution float64 // Mb/s
+	budget     estimate.Budget
 	channel    mac.Channel
 	stations   []mac.StationConfig // ac/rates resolved for [probe, contender]
 }
@@ -62,12 +74,16 @@ func parseArgs(args []string) (*abestConfig, error) {
 	fs.Float64Var(&c.resolution, "resolution", 0.25, "SLoPS bisection resolution (Mb/s)")
 	ch := clikit.RegisterChannel(fs)
 	edca := clikit.RegisterEDCA(fs)
+	budget := clikit.RegisterBudget(fs)
 	common := clikit.Register(fs, clikit.Defaults{Seed: 53, Reps: 200, Seconds: 1})
 	if err := fs.Parse(args); err != nil {
 		return nil, clikit.ParseError(err)
 	}
 	sc, err := common.Scale()
 	if err != nil {
+		return nil, err
+	}
+	if c.budget, err = budget.Budget(); err != nil {
 		return nil, err
 	}
 	switch c.est {
@@ -132,11 +148,26 @@ func (c *abestConfig) link() probe.Link {
 	return l
 }
 
+// truncCode encodes the Truncation reason as the figure's numeric
+// truncation column: 0 = the campaign ran to its own stopping rule.
+func truncCode(t estimate.Truncation) float64 {
+	switch t {
+	case estimate.TruncatedTime:
+		return 1
+	case estimate.TruncatedPackets:
+		return 2
+	}
+	return 0
+}
+
 // run executes the selected estimators and emits the result figure.
 func run(c *abestConfig, w io.Writer) error {
 	eff := experiments.ScaledAbestEffort(c.sc)
 	eff.Adaptive.TargetRel = c.target
 	eff.SLoPS.ResolutionBps = c.resolution * 1e6
+	eff.TOPP.Budget = c.budget
+	eff.SLoPS.Budget = c.budget
+	eff.Adaptive.Budget = c.budget
 	l := c.link()
 
 	truth, err := estimate.GroundTruth(l, eff.Truth)
@@ -155,6 +186,7 @@ func run(c *abestConfig, w io.Writer) error {
 	trainsS := experiments.Series{Name: "trains"}
 	pktS := experiments.Series{Name: "probe packets"}
 	secS := experiments.Series{Name: "probe seconds"}
+	truncS := experiments.Series{Name: "truncated (0=no 1=time 2=packets)"}
 
 	type row struct {
 		x    float64
@@ -180,8 +212,10 @@ func run(c *abestConfig, w io.Writer) error {
 			fmt.Fprintf(os.Stderr, "abest: %s: %v\n", r.name, err)
 		case errors.Is(err, estimate.ErrEstimateFailed):
 			// No usable value at all: skip the row rather than fabricate
-			// one, and say so.
-			fmt.Fprintf(os.Stderr, "abest: %s: %v (row skipped)\n", r.name, err)
+			// one, and say what the failed campaign still cost — budget
+			// accounting survives the failure.
+			fmt.Fprintf(os.Stderr, "abest: %s: %v (row skipped; spent %d packets, %.3f probe-seconds)\n",
+				r.name, err, e.Cost.Packets, e.Cost.ProbeSeconds)
 			continue
 		case err != nil:
 			return fmt.Errorf("%s: %w", r.name, err)
@@ -198,8 +232,10 @@ func run(c *abestConfig, w io.Writer) error {
 		pktS.Y = append(pktS.Y, float64(e.Cost.Packets))
 		secS.X = append(secS.X, r.x)
 		secS.Y = append(secS.Y, e.Cost.ProbeSeconds)
+		truncS.X = append(truncS.X, r.x)
+		truncS.Y = append(truncS.Y, truncCode(e.Truncated))
 	}
-	fig.Series = []experiments.Series{truthS, estS, ciS, trainsS, pktS, secS}
+	fig.Series = []experiments.Series{truthS, estS, ciS, trainsS, pktS, secS, truncS}
 	return c.common.Emit(w, fig)
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -40,7 +41,17 @@ func TestParseArgs(t *testing.T) {
 			chk: func(c *abestConfig) bool {
 				return c.stations[0].DataRate == 11e6 && c.stations[1].DataRate == 2e6
 			}},
+		{name: "budget caps", args: []string{"-max-probe-seconds", "2.5", "-max-packets", "500"}, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.budget.MaxProbeSeconds == 2.5 && c.budget.MaxPackets == 500 && c.budget.Enabled()
+			}},
+		{name: "uncapped budget default", args: nil, ok: true,
+			chk: func(c *abestConfig) bool { return !c.budget.Enabled() }},
 		{name: "unknown estimator", args: []string{"-est", "pathchirp"}, frag: "unknown estimator"},
+		{name: "NaN budget seconds", args: []string{"-max-probe-seconds", "NaN"}, frag: "-max-probe-seconds"},
+		{name: "Inf budget seconds", args: []string{"-max-probe-seconds", "Inf"}, frag: "-max-probe-seconds"},
+		{name: "negative budget seconds", args: []string{"-max-probe-seconds", "-1"}, frag: "-max-probe-seconds"},
+		{name: "negative budget packets", args: []string{"-max-packets", "-5"}, frag: "-max-packets"},
 		{name: "negative cross", args: []string{"-cross", "-1"}, frag: "-cross"},
 		{name: "negative fifo", args: []string{"-fifo", "-1"}, frag: "-fifo"},
 		{name: "target too big", args: []string{"-target", "1.5"}, frag: "-target"},
@@ -137,6 +148,48 @@ func TestRunSingleEstimator(t *testing.T) {
 	out := b.String()
 	if strings.Contains(out, "\n1,") || !strings.Contains(out, "\n3,") {
 		t.Errorf("-est adaptive did not select exactly the adaptive row:\n%s", out)
+	}
+}
+
+// TestRunBudgetTruncation pins the capped-run contract end to end: a
+// starved packet budget still emits estimator rows (best effort, never
+// a discarded value), the spent packets stay at or under the cap, and
+// the truncation column flags the cap that cut each campaign short.
+func TestRunBudgetTruncation(t *testing.T) {
+	cfg, err := parseArgs([]string{"-scale", "tiny", "-est", "adaptive", "-max-packets", "250", "-target", "0.005", "-format", "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "truncated") {
+		t.Fatalf("truncation column missing:\n%s", out)
+	}
+	// x=3 row: x, truth, estimate, CI, trains, packets, seconds, truncated
+	var row string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "3,") {
+			row = line
+		}
+	}
+	if row == "" {
+		t.Fatalf("capped adaptive run emitted no row:\n%s", out)
+	}
+	cols := strings.Split(row, ",")
+	if len(cols) != 8 {
+		t.Fatalf("row has %d columns, want 8: %q", len(cols), row)
+	}
+	var packets, trunc float64
+	fmt.Sscanf(cols[5], "%g", &packets)
+	fmt.Sscanf(cols[7], "%g", &trunc)
+	if packets > 250 {
+		t.Errorf("spent %g packets over the 250 cap", packets)
+	}
+	if trunc != 2 {
+		t.Errorf("truncation column %g, want 2 (packet cap)", trunc)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"csmabw/internal/estimate"
 	"csmabw/internal/experiments"
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
@@ -250,6 +251,41 @@ func (e *EDCAFlags) Apply(stations []mac.StationConfig) error {
 		}
 	}
 	return nil
+}
+
+// BudgetFlags holds the hard probing-budget knobs of the estimator
+// front ends — fbforward-style max-duration/max-packet caps a campaign
+// must not exceed. The zero value of both flags is an uncapped run.
+type BudgetFlags struct {
+	MaxProbeSeconds float64
+	MaxPackets      int
+}
+
+// RegisterBudget installs the budget flags on fs and returns the
+// destination struct, populated after fs.Parse.
+func RegisterBudget(fs *flag.FlagSet) *BudgetFlags {
+	b := &BudgetFlags{}
+	fs.Float64Var(&b.MaxProbeSeconds, "max-probe-seconds", 0,
+		"hard cap on the cumulative wire time a campaign may probe, seconds (0 = uncapped)")
+	fs.IntVar(&b.MaxPackets, "max-packets", 0,
+		"hard cap on the probe packets a campaign may inject (0 = uncapped)")
+	return b
+}
+
+// Budget resolves the flags into an estimate.Budget, rejecting
+// NaN/Inf/negative caps here at parse time — a NaN cap fails every
+// comparison and would otherwise silently behave as uncapped.
+func (b *BudgetFlags) Budget() (estimate.Budget, error) {
+	if err := CheckFinite("-max-probe-seconds", b.MaxProbeSeconds); err != nil {
+		return estimate.Budget{}, err
+	}
+	if b.MaxProbeSeconds < 0 {
+		return estimate.Budget{}, fmt.Errorf("-max-probe-seconds %g: must be >= 0 (0 = uncapped)", b.MaxProbeSeconds)
+	}
+	if b.MaxPackets < 0 {
+		return estimate.Budget{}, fmt.Errorf("-max-packets %d: must be >= 0 (0 = uncapped)", b.MaxPackets)
+	}
+	return estimate.Budget{MaxProbeSeconds: b.MaxProbeSeconds, MaxPackets: b.MaxPackets}, nil
 }
 
 // CheckFinite rejects NaN and ±Inf flag values. strconv.ParseFloat —

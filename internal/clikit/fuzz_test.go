@@ -1,6 +1,9 @@
 package clikit
 
 import (
+	"flag"
+	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -46,6 +49,40 @@ func FuzzParseInts(f *testing.F) {
 		}
 		if want := strings.Count(s, ",") + 1; len(vals) != want {
 			t.Fatalf("parsed %d values from %d fields in %q", len(vals), want, s)
+		}
+	})
+}
+
+// FuzzBudgetCaps drives raw command-line values through the budget
+// flag parser. Invariants: no panic, and a Budget that parses
+// successfully carries only finite, non-negative caps — NaN, ±Inf and
+// negative values must be rejected here at parse time, because a NaN
+// cap fails every comparison and would silently behave as uncapped
+// inside the estimators. Corpus seeds live in
+// testdata/fuzz/FuzzBudgetCaps.
+func FuzzBudgetCaps(f *testing.F) {
+	for _, seed := range [][2]string{
+		{"2.5", "500"}, {"0", "0"}, {"NaN", "100"}, {"Inf", "0"}, {"-Inf", "1"},
+		{"-1", "0"}, {"0", "-1"}, {"1e308", "2147483647"}, {"-0.0", "1000"}, {"0.001", "1"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, secs, pkts string) {
+		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		bf := RegisterBudget(fs)
+		if err := fs.Parse([]string{"-max-probe-seconds", secs, "-max-packets", pkts}); err != nil {
+			return
+		}
+		b, err := bf.Budget()
+		if err != nil {
+			return
+		}
+		if math.IsNaN(b.MaxProbeSeconds) || math.IsInf(b.MaxProbeSeconds, 0) || b.MaxProbeSeconds < 0 {
+			t.Fatalf("Budget() accepted -max-probe-seconds %q -> %g", secs, b.MaxProbeSeconds)
+		}
+		if b.MaxPackets < 0 {
+			t.Fatalf("Budget() accepted -max-packets %q -> %d", pkts, b.MaxPackets)
 		}
 	})
 }

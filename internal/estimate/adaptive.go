@@ -30,6 +30,17 @@ type AdaptiveConfig struct {
 	BatchReps int
 	// MaxReps bounds the total replication budget (default 512).
 	MaxReps int
+	// Budget caps the campaign's probing effort; the zero value is
+	// uncapped. Batches shrink to the remaining allowance (replication
+	// k is a pure function of (Seed, k), so a shrunk batch is an exact
+	// prefix of the unbudgeted sample sequence), and a campaign a cap
+	// stops before its confidence target reports the effective CI it
+	// actually achieved plus the cap in Estimate.Truncated. With a
+	// Budget set the confidence half-width — both the stopping rule and
+	// the reported CI — carries the loss-aware sigma inflation, so
+	// lossy links lengthen the campaign instead of stopping early on an
+	// optimistic interval.
+	Budget Budget
 }
 
 // withDefaults fills the zero-value knobs.
@@ -80,6 +91,9 @@ func Adaptive(l probe.Link, cfg AdaptiveConfig) (Estimate, error) {
 	if cfg.BatchReps < 1 || cfg.MaxReps < cfg.BatchReps {
 		return Estimate{}, fmt.Errorf("estimate: invalid adaptive config %+v", cfg)
 	}
+	if err := cfg.Budget.validate(); err != nil {
+		return Estimate{}, err
+	}
 	ld := l.WithDefaults()
 	gI := sim.Time(0)
 	if cfg.RateBps > 0 {
@@ -87,23 +101,34 @@ func Adaptive(l probe.Link, cfg AdaptiveConfig) (Estimate, error) {
 	}
 
 	est := Estimate{}
+	tracker := budgetTracker{budget: cfg.Budget}
 	var samples []probe.TrainSample
 	for done := 0; done < cfg.MaxReps; {
 		batch := cfg.BatchReps
 		if rem := cfg.MaxReps - done; batch > rem {
 			batch = rem
 		}
+		// A shrunk batch is not terminal: the first batch's time forecast
+		// is the pessimistic drain envelope, and real observed spans may
+		// show the budget affords much more. The campaign only stops when
+		// the ledger can no longer buy a single train.
+		var capped Truncation
+		if batch, capped = tracker.allow(est.Cost, batch, 1, cfg.TrainLen, gI); batch == 0 {
+			est.Truncated = capped
+			break
+		}
 		start := done
 		fresh, err := runner.Map(batch, l.Workers, func(i int) (probe.TrainSample, error) {
 			return probe.MeasureTrainOne(l, cfg.TrainLen, cfg.RateBps, start+i)
 		})
 		if err != nil {
-			return Estimate{}, err
+			return est, err
 		}
 		done += batch
 		est.Rounds++
 		for _, s := range fresh {
-			est.Cost.add(s, cfg.TrainLen, gI)
+			est.Cost.add(s, gI)
+			tracker.note(s, gI)
 			samples = append(samples, s)
 		}
 
@@ -114,8 +139,11 @@ func Adaptive(l probe.Link, cfg AdaptiveConfig) (Estimate, error) {
 		sum := stats.Summarize(gs)
 		est.Value = float64(ld.ProbeSize*8) / sum.Mean
 		// First-order propagation: a relative error on E[gO] is the same
-		// relative error on L/E[gO].
-		est.CI = est.Value * sum.CI95HalfWidth() / sum.Mean
+		// relative error on L/E[gO]. A budgeted campaign widens the
+		// half-width by the loss-aware sigma inflation — lossy links must
+		// buy more evidence for the same confidence — which governs both
+		// the stopping rule and the reported CI.
+		est.CI = est.Value * sum.CI95HalfWidth() * inflation(cfg.Budget, &tracker) / sum.Mean
 		target := cfg.TargetRel * est.Value
 		if cfg.TargetBps > 0 {
 			target = cfg.TargetBps
@@ -125,7 +153,12 @@ func Adaptive(l probe.Link, cfg AdaptiveConfig) (Estimate, error) {
 		}
 	}
 	if est.Value == 0 {
-		return Estimate{}, fmt.Errorf("%w (adaptive: %d replications, none usable)", ErrEstimateFailed, cfg.MaxReps)
+		// The partial Estimate still carries the Cost and Rounds spent,
+		// so budget accounting survives the failed campaign.
+		return est, fmt.Errorf("%w (adaptive: %d replications, none usable)", ErrEstimateFailed, cfg.MaxReps)
+	}
+	if est.Truncated != TruncatedNone {
+		return est, nil
 	}
 	return est, ErrTargetNotReached
 }

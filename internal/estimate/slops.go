@@ -34,6 +34,17 @@ type SLoPSConfig struct {
 	// MaxRounds bounds the bisection (default 20); the search also
 	// stops at ceil(log2(bracket/resolution)) naturally.
 	MaxRounds int
+	// Budget caps the search's probing effort; the zero value is
+	// uncapped. The budgeted search only runs whole rounds — a round
+	// that no longer fits is not started — so a budgeted campaign is an
+	// exact prefix of the unbudgeted one and its bracket (hence its
+	// reported CI) is monotone non-increasing in the budget. Because a
+	// whole round is the search's minimum unit of work, the first round
+	// of a time-capped campaign is admitted on the remaining time alone
+	// and is the only point a time cap can be overshot. A truncated
+	// search reports the bracket it reached and the cap in
+	// Estimate.Truncated.
+	Budget Budget
 }
 
 // withDefaults fills the zero-value knobs against the link's PHY.
@@ -103,24 +114,38 @@ func SLoPS(l probe.Link, cfg SLoPSConfig) (Estimate, error) {
 	if !(cfg.TrendT > 0) || math.IsInf(cfg.TrendT, 0) {
 		return Estimate{}, fmt.Errorf("estimate: SLoPS trend threshold %g must be positive and finite", cfg.TrendT)
 	}
+	if err := cfg.Budget.validate(); err != nil {
+		return Estimate{}, err
+	}
 
 	root := sim.NewStream(l.Seed)
 	lo, hi := cfg.LoBps, cfg.HiBps
 	est := Estimate{}
+	tracker := budgetTracker{budget: cfg.Budget}
 	classified := false
 	for round := 0; round < cfg.MaxRounds && hi-lo > cfg.ResolutionBps; round++ {
 		mid := (lo + hi) / 2
 		li := l
 		li.Seed = root.Child(uint64(round)).Seed()
+		gI := sim.FromSeconds(float64(ld.ProbeSize*8) / mid)
+		if reps, reason := tracker.allow(est.Cost, cfg.Reps, cfg.Reps, cfg.TrainLen, gI); reps < cfg.Reps {
+			// Whole rounds only: a bisection step classified on a partial
+			// replication set could flip the search's direction relative
+			// to the unbudgeted campaign, breaking the prefix property
+			// the CI-monotonicity contract rests on.
+			est.Truncated = reason
+			break
+		}
 		ts, err := probe.MeasureTrain(li, cfg.TrainLen, mid, cfg.Reps)
 		if err != nil {
-			return Estimate{}, err
+			return est, err
 		}
 		est.Rounds++
 		truncated := 0
 		var deltas []float64
 		for _, s := range ts.Samples {
-			est.Cost.add(s, cfg.TrainLen, ts.GI)
+			est.Cost.add(s, ts.GI)
+			tracker.note(s, ts.GI)
 			if s.Truncated {
 				// A train the horizon cut short is overload evidence in
 				// itself: the queue never drained.
@@ -149,7 +174,9 @@ func SLoPS(l probe.Link, cfg SLoPSConfig) (Estimate, error) {
 		}
 	}
 	if !classified {
-		return Estimate{}, fmt.Errorf("%w (SLoPS: no train produced a delay trend)", ErrEstimateFailed)
+		// The partial Estimate still carries the Cost and Rounds the
+		// failed campaign spent, so budget accounting survives.
+		return est, fmt.Errorf("%w (SLoPS: no train produced a delay trend)", ErrEstimateFailed)
 	}
 	est.Value = (lo + hi) / 2
 	est.CI = (hi - lo) / 2

@@ -33,6 +33,10 @@ type TOPPConfig struct {
 	// Tol is the relative deviation |ro-ri|/ri below which a sweep
 	// point counts as unsaturated (default 0.08).
 	Tol float64
+	// Budget caps the sweep's probing effort; the zero value is
+	// uncapped. A truncated sweep regresses whatever points it bought
+	// and reports the cap in Estimate.Truncated.
+	Budget Budget
 }
 
 // withDefaults fills the zero-value knobs against the link's PHY.
@@ -92,57 +96,114 @@ func TOPP(l probe.Link, cfg TOPPConfig) (Estimate, error) {
 	if err := checkFrac("TOPP tolerance", cfg.Tol, 0, 1); err != nil {
 		return Estimate{}, err
 	}
+	if err := cfg.Budget.validate(); err != nil {
+		return Estimate{}, err
+	}
 
 	root := sim.NewStream(l.Seed)
 	est := Estimate{}
+	tracker := budgetTracker{budget: cfg.Budget}
 	var ri, ro []float64
 	for i := 0; i < cfg.Points; i++ {
 		rate := cfg.MinRateBps + (cfg.MaxRateBps-cfg.MinRateBps)*float64(i)/float64(cfg.Points-1)
 		li := l
 		li.Seed = root.Child(uint64(i)).Seed()
-		est.Rounds++
 		if cfg.UseSteadyState {
+			if reason := steadyFits(cfg.Budget, est.Cost, rate, cfg.SteadySeconds, ld.ProbeSize); reason != TruncatedNone {
+				est.Truncated = reason
+				break
+			}
 			dur := sim.FromSeconds(cfg.SteadySeconds)
 			ss, err := probe.MeasureSteadyState(li, rate, dur)
 			if err != nil {
-				return Estimate{}, err
+				return est, err
 			}
+			est.Rounds++
 			est.Cost.Trains++
-			est.Cost.Packets += int(rate * cfg.SteadySeconds / float64(ld.ProbeSize*8))
+			est.Cost.Packets += ss.ProbePackets
 			est.Cost.ProbeSeconds += cfg.SteadySeconds
 			ri = append(ri, rate)
 			ro = append(ro, ss.ProbeRate)
 			continue
 		}
-		ts, err := probe.MeasureTrain(li, cfg.TrainLen, rate, cfg.Reps)
-		if err != nil {
-			return Estimate{}, err
+		gI := sim.FromSeconds(float64(ld.ProbeSize*8) / rate)
+		reps, reason := tracker.allow(est.Cost, cfg.Reps, 1, cfg.TrainLen, gI)
+		if reps == 0 {
+			est.Truncated = reason
+			break
 		}
+		if reason != TruncatedNone {
+			// A shrunk round still runs — a partial replication set at
+			// this rate is a usable sweep point — but the cap constrained
+			// the campaign's evidence, which the verdict must disclose.
+			est.Truncated = reason
+		}
+		ts, err := probe.MeasureTrain(li, cfg.TrainLen, rate, reps)
+		if err != nil {
+			return est, err
+		}
+		est.Rounds++
 		for _, s := range ts.Samples {
-			est.Cost.add(s, cfg.TrainLen, ts.GI)
+			est.Cost.add(s, ts.GI)
+			tracker.note(s, ts.GI)
 		}
 		out, err := ts.RateEstimate()
-		if errors.Is(err, probe.ErrNoEstimate) {
-			continue // no usable dispersion at this rate: skip the point
+		switch {
+		case errors.Is(err, probe.ErrNoEstimate):
+			// No usable dispersion at this rate: skip the point.
+		case err != nil:
+			return est, err
+		default:
+			ri = append(ri, rate)
+			ro = append(ro, out)
 		}
-		if err != nil {
-			return Estimate{}, err
-		}
-		ri = append(ri, rate)
-		ro = append(ro, out)
 	}
-	return toppRegress(est, ri, ro, cfg.Tol)
+	return toppRegress(est, ri, ro, cfg.Tol, inflation(cfg.Budget, &tracker))
+}
+
+// inflation is the loss-aware sigma inflation factor a budgeted
+// campaign applies to its reported confidence half-width. It only
+// engages with a Budget set — the honest-effective-error regime is what
+// Budget opts into — so unbudgeted campaigns report byte-identical CIs
+// to the pre-budget estimators.
+func inflation(b Budget, t *budgetTracker) float64 {
+	if !b.Enabled() {
+		return 1
+	}
+	return stats.SigmaInflation(t.lossFrac())
+}
+
+// steadyFits prices one steady-state sweep point against the remaining
+// budget. A steady run's cost is known before it starts — its duration
+// exactly, its packet count bounded by the offered CBR load — so
+// enforcement is exact: a point that does not fit simply does not run.
+func steadyFits(b Budget, c Cost, rate, seconds float64, probeSize int) Truncation {
+	if !b.Enabled() {
+		return TruncatedNone
+	}
+	if max := b.MaxPackets; max > 0 {
+		if offered := int(rate*seconds/float64(probeSize*8)) + 1; c.Packets+offered > max {
+			return TruncatedPackets
+		}
+	}
+	if max := b.MaxProbeSeconds; max > 0 && c.ProbeSeconds+seconds > max {
+		return TruncatedTime
+	}
+	return TruncatedNone
 }
 
 // toppRegress inverts the measured rate-response curve: the FIFO-model
 // regression and the CSMA plateau mean are both fitted, and the model
 // with the smaller RMSE against the curve wins. The confidence
 // half-width is the CI95 of the saturated points' output rates — the
-// spread of the plateau the estimate is read from.
-func toppRegress(est Estimate, ri, ro []float64, tol float64) (Estimate, error) {
+// spread of the plateau the estimate is read from — scaled by the
+// campaign's loss-aware sigma inflation (1 when unbudgeted). A failed
+// fit still returns the partial Estimate so the caller's budget ledger
+// survives the failure.
+func toppRegress(est Estimate, ri, ro []float64, tol, inflate float64) (Estimate, error) {
 	csma, errCSMA := core.FitCSMA(ri, ro, tol)
 	if errCSMA != nil {
-		return Estimate{}, fmt.Errorf("%w (TOPP: %v)", ErrEstimateFailed, errCSMA)
+		return est, fmt.Errorf("%w (TOPP: %v)", ErrEstimateFailed, errCSMA)
 	}
 	est.Value = csma.B
 	if fifo, err := core.FitFIFO(ri, ro, tol); err == nil {
@@ -169,7 +230,7 @@ func toppRegress(est Estimate, ri, ro []float64, tol float64) (Estimate, error) 
 	// A one-point plateau has no spread to report; CI stays 0 rather
 	// than the +Inf a single-sample confidence interval would give.
 	if s := stats.Summarize(plateau); s.N >= 2 {
-		est.CI = s.CI95HalfWidth()
+		est.CI = s.CI95HalfWidth() * inflate
 	}
 	return est, nil
 }

@@ -35,6 +35,9 @@ type AbestParams struct {
 	CrossBps   float64
 	PacketSize int
 	Seed       int64
+	// BudgetPackets are the hard probe-packet caps swept by the budget
+	// figure, from starved to comfortable.
+	BudgetPackets []int
 }
 
 // DefaultAbest places the sweeps around the paper's Fig. 2/3 operating
@@ -42,11 +45,12 @@ type AbestParams struct {
 // targets from sloppy to tight.
 func DefaultAbest() AbestParams {
 	return AbestParams{
-		CrossRates: []float64{0, 1e6, 2e6, 3e6, 4e6, 5e6},
-		Targets:    []float64{0.20, 0.10, 0.05, 0.025},
-		CrossBps:   2.5e6,
-		PacketSize: 1500,
-		Seed:       51,
+		CrossRates:    []float64{0, 1e6, 2e6, 3e6, 4e6, 5e6},
+		Targets:       []float64{0.20, 0.10, 0.05, 0.025},
+		CrossBps:      2.5e6,
+		PacketSize:    1500,
+		Seed:          51,
+		BudgetPackets: []int{300, 600, 1200, 2400},
 	}
 }
 
@@ -130,7 +134,10 @@ func abRun(k int, l probe.Link, cfg AbestEffort) (v estimate.Estimate, ok bool, 
 	}
 	switch {
 	case errors.Is(err, estimate.ErrEstimateFailed):
-		return estimate.Estimate{}, false, nil
+		// No usable value, but the partial Estimate still carries the
+		// Cost and Rounds the failed campaign spent — budget accounting
+		// survives even when the figure skips the point.
+		return e, false, nil
 	case errors.Is(err, estimate.ErrTargetNotReached):
 		// The budget ran out: the best-effort value still plots, its
 		// (wide) CI tells the story.
@@ -262,6 +269,95 @@ func AbestFrontier(p AbestParams, sc Scale) (*Figure, error) {
 				YLabel: "relative error (%) / probe packets",
 				Series: []Series{errS, costS},
 			}, nil
+		},
+	}, sc)
+}
+
+// AbestBudget sweeps a hard probe-packet cap across every estimator
+// and plots, against the budget, both the measured relative error and
+// the effective confidence half-width (epsilon_eff) each truncated
+// campaign reports — the accuracy-vs-budget frontier a deployed tool
+// navigates when its probing allowance, not its confidence target,
+// decides when to stop. Honest reporting is the point: the epsilon_eff
+// curve must widen as the budget starves, never pretend the target was
+// met. Unit 0 measures ground truth; unit 1 + b*3 + (k-1) runs
+// estimator k under cap b.
+func AbestBudget(p AbestParams, sc Scale) (*Figure, error) {
+	cfg := ScaledAbestEffort(sc)
+	const tools = abEstimators - 1 // every estimator except ground truth
+	type pt struct {
+		ok        bool
+		val, ci   float64
+		packets   float64
+		truncated estimate.Truncation
+	}
+	link := func(stream sim.Stream) probe.Link {
+		l := probe.Link{ProbeSize: p.PacketSize, Seed: stream.Seed(), Workers: 1}
+		if p.CrossBps > 0 {
+			l.Contenders = []probe.Flow{{RateBps: p.CrossBps, Size: p.PacketSize}}
+		}
+		return l
+	}
+	return Run(Scenario[pt]{
+		Seed:  p.Seed + 3,
+		Units: 1 + len(p.BudgetPackets)*tools,
+		Build: func() error {
+			if len(p.BudgetPackets) == 0 {
+				return fmt.Errorf("experiments: abest-budget needs packet caps")
+			}
+			for _, b := range p.BudgetPackets {
+				if b <= 0 {
+					return fmt.Errorf("experiments: abest-budget cap %d must be positive", b)
+				}
+			}
+			return nil
+		},
+		RunOne: func(u int, stream sim.Stream) (pt, error) {
+			if u == 0 {
+				tr, err := estimate.GroundTruth(link(stream), cfg.Truth)
+				return pt{ok: true, val: tr.AvailableBps}, err
+			}
+			b, k := (u-1)/tools, 1+(u-1)%tools
+			budget := estimate.Budget{MaxPackets: p.BudgetPackets[b]}
+			c := cfg
+			c.TOPP.Budget = budget
+			c.SLoPS.Budget = budget
+			c.Adaptive.Budget = budget
+			e, ok, err := abRun(k, link(stream), c)
+			return pt{ok: ok, val: e.Value, ci: e.CI,
+				packets: float64(e.Cost.Packets), truncated: e.Truncated}, err
+		},
+		Reduce: func(pts []pt) (*Figure, error) {
+			truth := pts[0].val
+			if truth <= 0 {
+				return nil, fmt.Errorf("experiments: abest-budget ground truth %g", truth)
+			}
+			fig := &Figure{
+				ID:     "abest-budget",
+				Title:  "Estimator accuracy and reported epsilon_eff vs hard packet budget",
+				XLabel: "probe-packet budget",
+				YLabel: "relative error / epsilon_eff vs ground truth (%)",
+			}
+			for k := 1; k <= tools; k++ {
+				errS := Series{Name: abName(k) + " error (%)"}
+				epsS := Series{Name: abName(k) + " eps_eff (%)"}
+				for b, cap := range p.BudgetPackets {
+					pt := pts[1+b*tools+(k-1)]
+					if !pt.ok {
+						continue
+					}
+					rel := 100 * (pt.val - truth) / truth
+					if rel < 0 {
+						rel = -rel
+					}
+					errS.X = append(errS.X, float64(cap))
+					errS.Y = append(errS.Y, rel)
+					epsS.X = append(epsS.X, float64(cap))
+					epsS.Y = append(epsS.Y, 100*pt.ci/truth)
+				}
+				fig.Series = append(fig.Series, errS, epsS)
+			}
+			return fig, nil
 		},
 	}, sc)
 }

@@ -52,6 +52,7 @@ func Registry() []struct {
 		{"abest-accuracy", func(sc Scale) (*Figure, error) { return AbestAccuracy(DefaultAbest(), sc) }},
 		{"abest-frontier", func(sc Scale) (*Figure, error) { return AbestFrontier(DefaultAbest(), sc) }},
 		{"abest-robust", func(sc Scale) (*Figure, error) { return AbestRobust(DefaultAbest(), sc) }},
+		{"abest-budget", func(sc Scale) (*Figure, error) { return AbestBudget(DefaultAbest(), sc) }},
 	}
 }
 

@@ -171,6 +171,17 @@ type TrainSample struct {
 	// GO is the measured output gap (Eq. 16); 0 when fewer than two
 	// probe packets were delivered.
 	GO sim.Time
+	// Injected is the number of probe packets the station actually
+	// resolved on the air — delivered to the receiver or dropped by the
+	// retry limit — before the run ended. A replication the horizon cut
+	// short injects fewer than the nominal train length, and cost
+	// ledgers must charge this count, not the nominal one: budgets are
+	// not debited for packets never sent.
+	Injected int
+	// Delivered is the number of probe packets that reached the
+	// receiver; Injected minus Delivered is the train's channel-loss
+	// count, the evidence loss-aware error inflation reads.
+	Delivered int
 	// Truncated marks a replication the simulation horizon cut short:
 	// at least one probe packet was neither delivered nor dropped by
 	// the retry limit when the run ended. A truncated train's missing
@@ -301,6 +312,11 @@ func PlanTrain(l Link, n int, rateBps float64) (*TrainPlan, error) {
 	return &TrainPlan{link: l, n: n, gI: gI}, nil
 }
 
+// GI returns the plan's input gap — the nominal spacing the probing
+// rate resolves to — so budget-aware callers can price a train before
+// sending it.
+func (p *TrainPlan) GI() sim.Time { return p.gI }
+
 // MeasureOne runs replication rep of the plan on meter m, reusing m's
 // engine across calls; a nil meter uses a fresh engine. The sample is a
 // pure function of (plan, rep) — the meter is an arena, never state
@@ -419,8 +435,13 @@ func (l Link) measureTrainOnce(m *TrainMeter, n int, gI sim.Time, rep int64) (Tr
 		if f.Index >= 0 && f.Index < n {
 			sample.Departures[f.Index] = f.Departed
 			sample.AccessDelays[f.Index] = f.AccessDelay().Seconds()
+			sample.Delivered++
 		}
 	}
+	// Every resolved probe was transmitted (delivered, or carried to the
+	// retry limit and dropped); unresolved probes of a truncated run
+	// never reached the air and must not be charged to cost ledgers.
+	sample.Injected = resolved
 	sample.Truncated = resolved < n
 	sample.GO = outputGap(sample.Departures)
 	return sample, nil
@@ -574,6 +595,12 @@ type SteadyState struct {
 	CrossRates  []float64 // carried rate per contender
 	MeasureFrom sim.Time
 	MeasureTo   sim.Time
+	// ProbePackets is the number of probe frames delivered over the
+	// whole run (warm-in quarter included) — the count a cost ledger
+	// charges for the measurement, as opposed to the nominal
+	// rate×duration/size arithmetic, which both truncates and pretends
+	// undelivered offered load was sent.
+	ProbePackets int
 }
 
 // MeasureSteadyState runs the long-train experiment at rate rateBps for
@@ -617,6 +644,9 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 	// Split station-0 throughput into probe and FIFO shares.
 	var probeBits, fifoBits int64
 	for _, f := range res.Frames[0] {
+		if f.Probe {
+			ss.ProbePackets++
+		}
 		if f.Departed < from || f.Departed > to {
 			continue
 		}

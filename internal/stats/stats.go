@@ -63,6 +63,38 @@ func (s Summary) CI95HalfWidth() float64 {
 	return 1.96 * s.StdDev() / math.Sqrt(float64(s.N))
 }
 
+// SigmaInflation returns the loss-aware standard-deviation inflation
+// factor 1 + sqrt(4p) for a packet-loss fraction p, clamped to [1, 3]
+// (p outside [0, 1] is clamped into it first). Loss both removes
+// samples and correlates the survivors' dispersion, so a campaign on a
+// lossy link needs more evidence for the same confidence; inflating
+// sigma by this factor is the bwprobe-style correction that lengthens
+// the campaign instead of letting it stop early on an optimistic
+// confidence interval. A zero loss fraction returns exactly 1, so
+// loss-free campaigns are untouched.
+func SigmaInflation(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 {
+		return 1
+	}
+	if p > 1 {
+		p = 1
+	}
+	f := 1 + math.Sqrt(4*p)
+	if f > 3 {
+		f = 3
+	}
+	return f
+}
+
+// EffectiveCI95HalfWidth is CI95HalfWidth with the loss-aware sigma
+// inflation applied: z·sigma_eff/sqrt(n) where sigma_eff =
+// sigma·SigmaInflation(lossFrac). This is the effective error bound
+// (epsilon_eff) a budget-truncated campaign reports — the half-width
+// the evidence actually supports, never the target it was aiming for.
+func (s Summary) EffectiveCI95HalfWidth(lossFrac float64) float64 {
+	return s.CI95HalfWidth() * SigmaInflation(lossFrac)
+}
+
 // Mean is a convenience for Summarize(xs).Mean.
 func Mean(xs []float64) float64 { return Summarize(xs).Mean }
 

@@ -447,3 +447,44 @@ func TestKSMatchesBruteForce(t *testing.T) {
 		}
 	}
 }
+
+func TestSigmaInflation(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {-0.5, 1}, {math.NaN(), 1},
+		{0.25, 2}, // 1 + sqrt(1)
+		{1, 3},    // 1 + sqrt(4) = 3, the clamp boundary
+		{1.5, 3},  // p clamped into [0, 1] first
+		{100, 3},  // far out of range still saturates at 3
+	}
+	for _, tt := range cases {
+		if got := SigmaInflation(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("SigmaInflation(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// Monotone non-decreasing over the whole loss range.
+	prev := 0.0
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		f := SigmaInflation(p)
+		if f < prev {
+			t.Fatalf("SigmaInflation not monotone at p=%g: %g < %g", p, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestEffectiveCI95HalfWidth(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	base := s.CI95HalfWidth()
+	if got := s.EffectiveCI95HalfWidth(0); got != base {
+		t.Errorf("loss-free effective CI %g != plain CI %g", got, base)
+	}
+	if got := s.EffectiveCI95HalfWidth(0.25); math.Abs(got-2*base) > 1e-12 {
+		t.Errorf("effective CI at p=0.25 = %g, want %g", got, 2*base)
+	}
+	// The inflated half-width is never narrower than the plain one.
+	if err := quick.Check(func(p float64) bool {
+		return s.EffectiveCI95HalfWidth(p) >= base
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
