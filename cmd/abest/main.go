@@ -13,8 +13,16 @@
 //	      [-max-probe-seconds S] [-max-packets N]
 //	      [-fer F] [-ber B] [-topology mesh|hidden|chain] [-capture DB]
 //	      [-ac legacy|bk|be|vi|vo,...] [-rates MBPS,...]
+//	      [-scenario FILE.json]
 //	      [-scale tiny|default|paper] [-reps N] [-seconds S]
 //	      [-seed N] [-workers N] [-format table|csv|json]
+//
+// With -scenario the measured cell comes from a declarative spec file,
+// whose optional estimator block supplies the campaign defaults (kind,
+// CI target, resolution, budget); explicit -est/-target/-resolution/
+// -max-probe-seconds/-max-packets/-seed flags override the spec, while
+// the structured cell flags (-cross, -fifo, -fer, -ber, -topology,
+// -capture, -ac, -rates) conflict with it and are rejected.
 //
 // -ac/-rates configure the probing station (first entry) and the
 // contender (second entry), or broadcast a single entry to both. The
@@ -60,6 +68,7 @@ type abestConfig struct {
 	budget     estimate.Budget
 	channel    mac.Channel
 	stations   []mac.StationConfig // ac/rates resolved for [probe, contender]
+	base       *probe.Link         // spec-compiled cell replacing the flag-built one
 }
 
 // parseArgs resolves the command line into a validated configuration.
@@ -119,12 +128,54 @@ func parseArgs(args []string) (*abestConfig, error) {
 	if c.channel, err = ch.Channel(len(c.stations)); err != nil {
 		return nil, err
 	}
+	scen, err := common.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	if scen != nil {
+		// The spec describes the whole cell; the structured flags would be
+		// a second source of the same configuration.
+		for _, name := range []string{"cross", "fifo", "fer", "ber", "topology", "capture", "ac", "rates"} {
+			if common.Explicit(name) {
+				return nil, fmt.Errorf("-%s conflicts with -scenario: the spec describes the cell", name)
+			}
+		}
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		common.Seed = scen.Link.Seed
+		c.base = &scen.Link
+		sc = common.ScenarioScale(sc, scen)
+		// The spec's estimator block acts like tool defaults: explicit
+		// campaign flags still win.
+		if e := scen.Estimator; e != nil {
+			if !common.Explicit("est") {
+				c.est = e.Kind
+			}
+			if e.TargetRel > 0 && !common.Explicit("target") {
+				c.target = e.TargetRel
+			}
+			if e.ResolutionBps > 0 && !common.Explicit("resolution") {
+				c.resolution = e.ResolutionBps / 1e6
+			}
+			if e.Budget.MaxProbeSeconds > 0 && !common.Explicit("max-probe-seconds") {
+				c.budget.MaxProbeSeconds = e.Budget.MaxProbeSeconds
+			}
+			if e.Budget.MaxPackets > 0 && !common.Explicit("max-packets") {
+				c.budget.MaxPackets = e.Budget.MaxPackets
+			}
+		}
+	}
 	c.common, c.sc = common, sc
 	return c, nil
 }
 
-// link assembles the measured scenario from the flags.
+// link assembles the measured scenario from the flags, or from the
+// spec-compiled cell when -scenario was given.
 func (c *abestConfig) link() probe.Link {
+	if c.base != nil {
+		l := *c.base
+		l.Workers = c.sc.Workers
+		return l
+	}
 	l := probe.Link{
 		Seed:             c.common.Seed,
 		Workers:          c.sc.Workers,

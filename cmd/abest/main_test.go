@@ -47,6 +47,21 @@ func TestParseArgs(t *testing.T) {
 			}},
 		{name: "uncapped budget default", args: nil, ok: true,
 			chk: func(c *abestConfig) bool { return !c.budget.Enabled() }},
+		{name: "scenario estimator defaults", args: []string{"-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json"}, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.base != nil && c.base.Seed == 42 && c.common.Seed == 42 &&
+					c.est == "all" && c.target == 0.05 && c.resolution == 0.25 &&
+					c.budget.MaxProbeSeconds == 30 && c.budget.MaxPackets == 20000
+			}},
+		{name: "scenario explicit flags win", args: []string{"-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json",
+			"-seed", "99", "-target", "0.1", "-max-packets", "500"}, ok: true,
+			chk: func(c *abestConfig) bool {
+				return c.base.Seed == 99 && c.target == 0.1 &&
+					c.budget.MaxPackets == 500 && c.budget.MaxProbeSeconds == 30
+			}},
+		{name: "scenario cell conflict", args: []string{"-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json", "-cross", "1"},
+			frag: "conflicts with -scenario"},
+		{name: "missing scenario file", args: []string{"-scenario", "no-such.json"}, frag: "no-such.json"},
 		{name: "unknown estimator", args: []string{"-est", "pathchirp"}, frag: "unknown estimator"},
 		{name: "NaN budget seconds", args: []string{"-max-probe-seconds", "NaN"}, frag: "-max-probe-seconds"},
 		{name: "Inf budget seconds", args: []string{"-max-probe-seconds", "Inf"}, frag: "-max-probe-seconds"},

@@ -10,6 +10,12 @@
 // Sender:
 //
 //	bwprobe -send HOST:9900 [-n 50] [-rate-mbps 5] [-size 1500] [-session 1] [-trains 1] [-mser 0]
+//	bwprobe -send HOST:9900 -scenario FILE.json
+//
+// With -scenario the train shape — packet count, probing rate, payload
+// size — comes from a declarative spec file's train probing plan, so
+// the same spec drives the simulator tools and the real-network
+// sender; explicit -n/-rate-mbps/-size flags override the spec.
 //
 // With -mser m > 0 the sender is expected to pair with a receiver whose
 // report is post-processed by the MSER-m correction; bwprobe -recv
@@ -27,6 +33,7 @@ import (
 	"csmabw/internal/clikit"
 	"csmabw/internal/core"
 	"csmabw/internal/netprobe"
+	"csmabw/internal/scenario"
 )
 
 // bwprobeConfig is the tool configuration resolved from the command
@@ -62,10 +69,32 @@ func parseArgs(args []string) (*bwprobeConfig, error) {
 	fs.Float64Var(&c.gapMs, "train-gap-ms", 200, "pause between trains (sender)")
 	fs.DurationVar(&c.timeout, "timeout", 10*time.Second, "receiver timeout per train")
 	fs.IntVar(&c.mser, "mser", 2, "MSER batch size for the corrected estimate (0 = off)")
+	scenFlag := clikit.RegisterScenario(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, clikit.ParseError(err)
 	}
 	c.session = uint32(session)
+	if scen, err := scenFlag.Compiled(); err != nil {
+		return nil, err
+	} else if scen != nil {
+		// The spec's train plan supplies the sender defaults; explicit
+		// flags still win, per the shared precedence rule.
+		if scen.Probing.Plan != scenario.PlanTrain {
+			return nil, fmt.Errorf("bwprobe needs a train probing plan, scenario %q has %q", scen.Name, scen.Probing.Plan)
+		}
+		if !clikit.Passed(fs, "n") {
+			c.n = scen.Probing.TrainLen
+		}
+		if !clikit.Passed(fs, "rate-mbps") {
+			c.rateMbps = scen.Probing.RateBps / 1e6
+		}
+		if scen.Link.ProbeSize > 0 && !clikit.Passed(fs, "size") {
+			c.size = scen.Link.ProbeSize
+		}
+		if scen.Probing.Reps > 0 && !clikit.Passed(fs, "trains") {
+			c.trains = scen.Probing.Reps
+		}
+	}
 	switch {
 	case c.recv && c.send != "":
 		return nil, fmt.Errorf("-recv and -send are mutually exclusive")

@@ -29,6 +29,12 @@ func TestParseArgs(t *testing.T) {
 			chk: func(c *bwprobeConfig) bool { return c.inputGap() == 0 }},
 		{name: "gap derivation", args: []string{"-send", "h:1", "-size", "1250", "-rate-mbps", "10"}, ok: true,
 			chk: func(c *bwprobeConfig) bool { return c.inputGap() == time.Millisecond }},
+		{name: "scenario train defaults", args: []string{"-send", "h:1", "-scenario", "../../scenarios/paper-baseline.json"}, ok: true,
+			chk: func(c *bwprobeConfig) bool { return c.n == 1000 && c.rateMbps == 5 && c.size == 1500 }},
+		{name: "scenario explicit n wins", args: []string{"-send", "h:1", "-scenario", "../../scenarios/paper-baseline.json", "-n", "10"}, ok: true,
+			chk: func(c *bwprobeConfig) bool { return c.n == 10 && c.rateMbps == 5 }},
+		{name: "scenario steady plan rejected", args: []string{"-send", "h:1", "-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json"},
+			frag: "train probing plan"},
 		{name: "no mode", args: nil, frag: "need -recv or -send"},
 		{name: "both modes", args: []string{"-recv", "-send", "h:1"}, frag: "mutually exclusive"},
 		{name: "train too short", args: []string{"-send", "h:1", "-n", "1"}, frag: "at least 2"},

@@ -16,6 +16,17 @@
 // at the common receiver in relative dB, consumed by the -capture rule
 // (default 0 — equal powers, so no frame can capture).
 //
+// Alternatively the whole cell — stations, traffic, channel, EDCA,
+// probing plan — comes from a declarative spec file:
+//
+//	dcfsim -scenario scenarios/dense-stadium.json -duration 5 -reps 8
+//
+// Station 0 then runs the spec's probing plan merged with the FIFO
+// cross flows and stations 1.. the spec's contenders. Explicit
+// -seed/-rts flags override the spec; the structured flags (-station,
+// -phy, -fer, -ber, -topology, -capture, -ac, -rates) describe the
+// same things the spec does and are rejected alongside it.
+//
 // Flags -phy (b11|b11short|g54|a54), -rts (RTS/CTS threshold in bytes)
 // and -seed complete the scenario. The channel is configurable:
 // -fer/-ber apply a frame/bit error model, -topology mesh|hidden|chain
@@ -130,16 +141,44 @@ func main() {
 	tracePath := flag.String("trace", "", "write a binary channel-event trace to this file (replication 0)")
 	chFlags := clikit.RegisterChannel(flag.CommandLine)
 	edcaFlags := clikit.RegisterEDCA(flag.CommandLine)
+	scenFlag := clikit.RegisterScenario(flag.CommandLine)
 	flag.Parse()
 
-	if len(specs) == 0 {
-		clikit.Exitf(2, "need at least one -station spec")
+	scen, err := scenFlag.Compiled()
+	if err != nil {
+		clikit.Exitf(2, "%v", err)
+	}
+	if scen != nil {
+		// The spec describes the whole cell; the structured flags would be
+		// a second source of the same configuration.
+		if len(specs) > 0 {
+			clikit.Exitf(2, "-station conflicts with -scenario: the spec describes the stations")
+		}
+		for _, name := range []string{"phy", "fer", "ber", "topology", "capture", "ac", "rates"} {
+			if clikit.Passed(flag.CommandLine, name) {
+				clikit.Exitf(2, "-%s conflicts with -scenario: the spec describes the cell", name)
+			}
+		}
+		if clikit.Passed(flag.CommandLine, "seed") {
+			scen.Link.Seed = *seed
+		} else {
+			*seed = scen.Link.Seed
+		}
+		if clikit.Passed(flag.CommandLine, "rts") {
+			scen.Link.RTSThreshold = *rts
+		} else {
+			*rts = scen.Link.RTSThreshold
+		}
+	} else if len(specs) == 0 {
+		clikit.Exitf(2, "need at least one -station spec (or -scenario)")
 	}
 	if *reps < 1 {
 		clikit.Exitf(2, "-reps must be at least 1")
 	}
-	p, err := phyFor(*phyName)
-	if err != nil {
+	var p phy.Params
+	if scen != nil {
+		p = scen.Link.WithDefaults().Phy
+	} else if p, err = phyFor(*phyName); err != nil {
 		clikit.Exitf(2, "%v", err)
 	}
 	channel, err := chFlags.Channel(len(specs))
@@ -176,18 +215,29 @@ func main() {
 			names[i] += fmt.Sprintf("@%gM", edca[i].DataRate/1e6)
 		}
 	}
+	if scen != nil {
+		names = scen.StationNames
+	}
 	runOne := func(rep int) ([]stationResult, error) {
 		stream := root.Child(uint64(rep))
-		cfg := mac.Config{Phy: p, Seed: stream.Child(0).Seed(), Horizon: end, RTSThreshold: *rts, Channel: channel}
-		for i, spec := range specs {
-			src, power, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
-			if err != nil {
+		var cfg mac.Config
+		if scen != nil {
+			var err error
+			if cfg, err = scen.MACConfig(stream, end); err != nil {
 				return nil, err
 			}
-			cfg.Stations = append(cfg.Stations, mac.StationConfig{
-				Name: names[i], Source: src, PowerDB: power,
-				AC: edca[i].AC, EDCA: edca[i].EDCA, DataRate: edca[i].DataRate,
-			})
+		} else {
+			cfg = mac.Config{Phy: p, Seed: stream.Child(0).Seed(), Horizon: end, RTSThreshold: *rts, Channel: channel}
+			for i, spec := range specs {
+				src, power, err := parseStation(spec, stream.Child(uint64(i)+1).Rand(), end)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Stations = append(cfg.Stations, mac.StationConfig{
+					Name: names[i], Source: src, PowerDB: power,
+					AC: edca[i].AC, EDCA: edca[i].EDCA, DataRate: edca[i].DataRate,
+				})
+			}
 		}
 		if rep == 0 && tw != nil {
 			hook, _ := tw.Hook()
@@ -197,7 +247,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]stationResult, len(specs))
+		out := make([]stationResult, len(names))
 		for i := range cfg.Stations {
 			st := res.Stats[i]
 			var acc []float64
@@ -231,14 +281,20 @@ func main() {
 		fmt.Printf("wrote %d events to %s\n", tw.Events(), *tracePath)
 	}
 
+	if scen != nil {
+		fmt.Printf("scenario %q: %s\n", scen.Name, scen.Description)
+		for _, phase := range scen.Phases {
+			fmt.Printf("  - %s\n", phase)
+		}
+	}
 	fmt.Printf("PHY %s, %d stations, %.1fs simulated, %d replication(s) (RTS threshold %d)\n\n",
-		p.Name, len(specs), *duration, *reps, *rts)
+		p.Name, len(names), *duration, *reps, *rts)
 	fmt.Printf("%-26s %10s %9s %9s %7s %7s %7s %10s %10s\n",
 		"station", "thru(Mb/s)", "delivered", "attempts", "coll", "phyerr", "drops",
 		"mean acc(ms)", "p95 acc(ms)")
 	var agg float64
 	n := float64(len(byRep))
-	for i := range specs {
+	for i := range names {
 		var m stationResult
 		for _, rep := range byRep {
 			m.thrMbps += rep[i].thrMbps

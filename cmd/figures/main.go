@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	figures [-only fig01,fig08] [-out DIR]
+//	figures [-only fig01,fig08] [-out DIR] [-scenario FILE.json]
 //	        [-scale tiny|default|paper] [-reps N] [-points N] [-seconds S]
 //	        [-workers N] [-format table|csv|json]
 //
 // Replications and sweep points run on -workers goroutines; the output
 // is byte-identical at any worker count.
+//
+// With -scenario the registry is skipped and the one figure the spec's
+// probing plan selects (transient for train plans, rate response for
+// steady plans) renders from the compiled cell instead; -only then
+// conflicts and is rejected.
 package main
 
 import (
@@ -33,6 +38,26 @@ func main() {
 	sc, err := common.Scale()
 	if err != nil {
 		clikit.Exitf(2, "%v", err)
+	}
+	if scen, err := common.Scenario(); err != nil {
+		clikit.Exitf(2, "%v", err)
+	} else if scen != nil {
+		if *only != "" {
+			clikit.Exitf(2, "-only conflicts with -scenario: the spec selects the figure")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			clikit.Exitf(1, "%v", err)
+		}
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		sc = common.ScenarioScale(sc, scen)
+		start := time.Now()
+		fig, err := experiments.ScenarioFigure(scen, sc)
+		clikit.Check(err)
+		path := filepath.Join(*out, fig.ID+".csv")
+		clikit.Check(os.WriteFile(path, []byte(fig.CSV()), 0o644))
+		clikit.Check(common.Emit(os.Stdout, fig))
+		fmt.Printf("  (%.1fs, wrote %s)\n", time.Since(start).Seconds(), path)
+		return
 	}
 	want := map[string]bool{}
 	if *only != "" {

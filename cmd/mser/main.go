@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	mser [-train N] [-batch M] [-cross MBPS]
+//	mser [-train N] [-batch M] [-cross MBPS] [-scenario FILE.json]
 //	     [-scale tiny|default|paper] [-reps N] [-points N] [-seconds S]
 //	     [-seed N] [-workers N] [-format table|csv|json]
+//
+// With -scenario the measured cell comes from a declarative spec file
+// instead of the -cross scalar (which then conflicts and is rejected);
+// a train-plan spec also supplies the train length, and explicit
+// -train/-seed flags override the spec.
 package main
 
 import (
@@ -36,6 +41,23 @@ func main() {
 		PacketSize:    1500,
 		MaxProbeBps:   10e6,
 		Seed:          common.Seed,
+	}
+	if scen, err := common.Scenario(); err != nil {
+		clikit.Exitf(2, "%v", err)
+	} else if scen != nil {
+		if common.Explicit("cross") {
+			clikit.Exitf(2, "-cross conflicts with -scenario: the spec describes the cell")
+		}
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		p.Seed = scen.Link.Seed
+		p.Base = &scen.Link
+		if scen.Link.ProbeSize > 0 {
+			p.PacketSize = scen.Link.ProbeSize
+		}
+		if scen.Probing.TrainLen > 0 && !common.Explicit("train") {
+			p.TrainLen = scen.Probing.TrainLen
+		}
+		sc = common.ScenarioScale(sc, scen)
 	}
 	fig, err := experiments.Fig17MSER(p, sc)
 	clikit.Check(err)

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	packetpair [-max MBPS] [-step MBPS]
+//	packetpair [-max MBPS] [-step MBPS] [-scenario FILE.json]
 //	           [-scale tiny|default|paper] [-reps N] [-seconds S]
 //	           [-seed N] [-workers N] [-format table|csv|json]
 //
 // The cross-traffic sweep resolution comes from -max/-step; -points is
 // accepted (shared harness) but has no effect here.
+//
+// With -scenario the measured cell comes from a declarative spec file:
+// its channel, EDCA and probe settings replace the hand-wired defaults
+// while the tool still sweeps the first contender's offered rate, and
+// explicit -max/-step/-seed flags override the spec.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
+	"csmabw/internal/probe"
 )
 
 // ppConfig is the tool configuration resolved from the command line.
@@ -28,6 +34,8 @@ type ppConfig struct {
 	common    *clikit.Flags
 	sc        experiments.Scale
 	max, step float64 // Mb/s
+	base      *probe.Link
+	size      int
 }
 
 // parseArgs resolves the command line into a validated configuration.
@@ -47,7 +55,22 @@ func parseArgs(args []string) (*ppConfig, error) {
 	if *step <= 0 || *maxCross < 0 {
 		return nil, fmt.Errorf("need -step > 0 and -max >= 0, got step=%g max=%g", *step, *maxCross)
 	}
-	return &ppConfig{common: common, sc: sc, max: *maxCross, step: *step}, nil
+	cfg := &ppConfig{common: common, max: *maxCross, step: *step, size: 1500}
+	scen, err := common.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	if scen != nil {
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		common.Seed = scen.Link.Seed
+		cfg.base = &scen.Link
+		if scen.Link.ProbeSize > 0 {
+			cfg.size = scen.Link.ProbeSize
+		}
+		sc = common.ScenarioScale(sc, scen)
+	}
+	cfg.sc = sc
+	return cfg, nil
 }
 
 // crossRates expands the sweep specification into rate points in bit/s.
@@ -63,9 +86,10 @@ func (c *ppConfig) crossRates() []float64 {
 func run(cfg *ppConfig, w io.Writer) error {
 	p := experiments.Fig16Params{
 		CrossRates:  cfg.crossRates(),
-		PacketSize:  1500,
+		PacketSize:  cfg.size,
 		SaturateBps: 12e6,
 		Seed:        cfg.common.Seed,
+		Base:        cfg.base,
 	}
 	fig, err := experiments.Fig16PacketPair(p, cfg.sc)
 	if err != nil {

@@ -28,6 +28,12 @@ func TestParseArgs(t *testing.T) {
 			chk: func(c *ppConfig) bool { return c.sc.Reps == 8 }},
 		{name: "reps override", args: []string{"-reps", "50"}, ok: true,
 			chk: func(c *ppConfig) bool { return c.sc.Reps == 50 }},
+		{name: "scenario cell", args: []string{"-scenario", "../../scenarios/paper-baseline.json"}, ok: true,
+			chk: func(c *ppConfig) bool {
+				return c.base != nil && c.base.Seed == 6 && c.common.Seed == 6 && c.size == 1500
+			}},
+		{name: "scenario explicit seed wins", args: []string{"-scenario", "../../scenarios/paper-baseline.json", "-seed", "7"}, ok: true,
+			chk: func(c *ppConfig) bool { return c.base.Seed == 7 && c.common.Seed == 7 }},
 		{name: "zero step", args: []string{"-step", "0"}, frag: "-step"},
 		{name: "negative max", args: []string{"-max", "-1"}, frag: "-max"},
 		{name: "bad format", args: []string{"-format", "xml"}, frag: "unknown format"},

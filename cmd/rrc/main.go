@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	rrc [-cross MBPS] [-fifo MBPS] [-max MBPS] [-fer P]
+//	rrc [-cross MBPS] [-fifo MBPS] [-max MBPS]
+//	    [-fer P] [-ber P] [-topology mesh|hidden|chain] [-capture DB]
+//	    [-scenario FILE.json]
 //	    [-scale tiny|default|paper] [-points N] [-seconds S]
 //	    [-seed N] [-workers N] [-format table|csv|json]
 //
@@ -12,9 +14,16 @@
 // accepted (shared harness) but has no effect here.
 //
 // With -fifo 0 it reproduces Figure 1 (contending cross-traffic only);
-// with -fifo > 0 it reproduces Figure 4 (the complete picture). A
-// non-zero -fer applies a frame-error model on every uplink, measuring
-// the curve over a lossy channel instead of the paper's perfect one.
+// with -fifo > 0 it reproduces Figure 4 (the complete picture). The
+// channel flags apply a frame/bit error model, a hearing topology and
+// receiver capture, measuring the curve over an imperfect channel
+// instead of the paper's perfect one.
+//
+// With -scenario the measured cell comes from a declarative spec file
+// (steady probing plan required) and the sweep tops out at the spec's
+// probing rate; explicit -max/-seed/-seconds flags still override the
+// spec, while the structured channel and traffic flags (-cross, -fifo,
+// -fer, -ber, -topology, -capture) conflict with it and are rejected.
 package main
 
 import (
@@ -25,7 +34,7 @@ import (
 
 	"csmabw/internal/clikit"
 	"csmabw/internal/experiments"
-	"csmabw/internal/phy"
+	"csmabw/internal/scenario"
 )
 
 // rrcConfig is the tool configuration resolved from the command line.
@@ -33,7 +42,8 @@ type rrcConfig struct {
 	common           *clikit.Flags
 	sc               experiments.Scale
 	cross, fifo, max float64 // Mb/s
-	loss             phy.ErrorModel
+	channel          *clikit.ChannelFlags
+	scen             *scenario.Compiled
 }
 
 // parseArgs resolves the command line into a validated configuration.
@@ -43,7 +53,7 @@ func parseArgs(args []string) (*rrcConfig, error) {
 	cross := fs.Float64("cross", 4.5, "contending cross-traffic rate (Mb/s)")
 	fifo := fs.Float64("fifo", 0, "FIFO cross-traffic rate sharing the probe queue (Mb/s)")
 	maxRate := fs.Float64("max", 10, "top of the probing-rate sweep (Mb/s)")
-	fer := fs.Float64("fer", 0, "frame-error rate on every uplink in [0,1)")
+	ch := clikit.RegisterChannel(fs)
 	common := clikit.Register(fs, clikit.Defaults{Seed: 1, Reps: 1, Points: 20, Seconds: 2})
 	if err := fs.Parse(args); err != nil {
 		return nil, clikit.ParseError(err)
@@ -55,18 +65,43 @@ func parseArgs(args []string) (*rrcConfig, error) {
 	if *maxRate <= 0 {
 		return nil, fmt.Errorf("need -max > 0, got %g", *maxRate)
 	}
-	loss := phy.ErrorModel{FER: *fer}
-	if err := loss.Validate(); err != nil {
+	scen, err := common.Scenario()
+	if err != nil {
 		return nil, err
 	}
-	return &rrcConfig{
-		common: common,
-		sc:     sc,
-		cross:  *cross,
-		fifo:   *fifo,
-		max:    *maxRate,
-		loss:   loss,
-	}, nil
+	cfg := &rrcConfig{
+		common:  common,
+		cross:   *cross,
+		fifo:    *fifo,
+		max:     *maxRate,
+		channel: ch,
+		scen:    scen,
+	}
+	if scen != nil {
+		// The spec describes the whole cell; a second, structured source
+		// of the same configuration would be ambiguous.
+		for _, name := range []string{"cross", "fifo", "fer", "ber", "topology", "capture"} {
+			if common.Explicit(name) {
+				return nil, fmt.Errorf("-%s conflicts with -scenario: the spec describes the cell", name)
+			}
+		}
+		if scen.Probing.Plan != scenario.PlanSteady {
+			return nil, fmt.Errorf("rrc needs a steady probing plan, scenario %q has %q", scen.Name, scen.Probing.Plan)
+		}
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		if common.Explicit("max") {
+			scen.Probing.RateBps = *maxRate * 1e6
+		}
+		sc = common.ScenarioScale(sc, scen)
+	}
+	// The channel flags resolve against the 2-station cell of the
+	// hand-wired figures (probe + one contender); validated here, at
+	// parse time, so a bad -fer fails before any measurement.
+	if _, err := ch.Channel(2); err != nil {
+		return nil, err
+	}
+	cfg.sc = sc
+	return cfg, nil
 }
 
 // run builds and emits the configured figure.
@@ -75,23 +110,38 @@ func run(cfg *rrcConfig, w io.Writer) error {
 		fig *experiments.Figure
 		err error
 	)
-	if cfg.fifo > 0 {
+	switch {
+	case cfg.scen != nil:
+		fig, err = experiments.ScenarioRRC(cfg.scen, cfg.sc)
+	case cfg.fifo > 0:
+		channel, cerr := cfg.channel.Channel(2)
+		if cerr != nil {
+			return cerr
+		}
 		p := experiments.Fig4Params{
 			FIFOCrossBps:  cfg.fifo * 1e6,
 			ContendingBps: cfg.cross * 1e6,
 			PacketSize:    1500,
 			MaxProbeBps:   cfg.max * 1e6,
 			Seed:          cfg.common.Seed,
-			Loss:          cfg.loss,
+			Loss:          channel.Loss,
+			Topology:      channel.Topology,
+			CaptureDB:     channel.CaptureThresholdDB,
 		}
 		fig, err = experiments.Fig4CompleteRRC(p, cfg.sc)
-	} else {
+	default:
+		channel, cerr := cfg.channel.Channel(2)
+		if cerr != nil {
+			return cerr
+		}
 		p := experiments.Fig1Params{
 			CrossRateBps: cfg.cross * 1e6,
 			PacketSize:   1500,
 			MaxProbeBps:  cfg.max * 1e6,
 			Seed:         cfg.common.Seed,
-			Loss:         cfg.loss,
+			Loss:         channel.Loss,
+			Topology:     channel.Topology,
+			CaptureDB:    channel.CaptureThresholdDB,
 		}
 		fig, err = experiments.Fig1SteadyStateRRC(p, cfg.sc)
 	}

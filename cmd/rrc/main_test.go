@@ -21,12 +21,26 @@ func TestParseArgs(t *testing.T) {
 			chk: func(c *rrcConfig) bool {
 				return c.cross == 4.5 && c.fifo == 0 && c.max == 10 &&
 					c.sc.Reps == 1 && c.sc.SweepPoints == 20 && c.sc.SteadySeconds == 2 &&
-					c.common.Seed == 1 && c.common.Format == "table" && c.loss.IsZero()
+					c.common.Seed == 1 && c.common.Format == "table" && c.channel.FER == 0
 			}},
 		{name: "figure 4 shape", args: []string{"-fifo", "1.5", "-cross", "2"}, ok: true,
 			chk: func(c *rrcConfig) bool { return c.fifo == 1.5 && c.cross == 2 }},
 		{name: "lossy channel", args: []string{"-fer", "0.05"}, ok: true,
-			chk: func(c *rrcConfig) bool { return c.loss.FER == 0.05 }},
+			chk: func(c *rrcConfig) bool { return c.channel.FER == 0.05 }},
+		{name: "hidden topology", args: []string{"-topology", "hidden"}, ok: true,
+			chk: func(c *rrcConfig) bool { return c.channel.Topology == "hidden" }},
+		{name: "bad topology", args: []string{"-topology", "torus"}, frag: "unknown topology"},
+		{name: "scenario steady plan", args: []string{"-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json"}, ok: true,
+			chk: func(c *rrcConfig) bool {
+				return c.scen != nil && c.scen.Name == "mixed-rate-anomaly-mesh" &&
+					c.scen.Link.Seed == 42 && c.scen.Probing.RateBps == 8e6
+			}},
+		{name: "scenario explicit max wins", args: []string{"-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json", "-max", "5"}, ok: true,
+			chk: func(c *rrcConfig) bool { return c.scen.Probing.RateBps == 5e6 }},
+		{name: "scenario cross conflict", args: []string{"-scenario", "../../scenarios/mixed-rate-anomaly-mesh.json", "-cross", "1"},
+			frag: "conflicts with -scenario"},
+		{name: "scenario train plan rejected", args: []string{"-scenario", "../../scenarios/paper-baseline.json"},
+			frag: "steady probing plan"},
 		{name: "scale preset with overrides", args: []string{"-scale", "tiny", "-points", "3", "-format", "csv"}, ok: true,
 			chk: func(c *rrcConfig) bool {
 				return c.sc.SweepPoints == 3 && c.sc.SteadySeconds == 0.5 && c.common.Format == "csv"

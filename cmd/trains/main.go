@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	trains [-lens 3,10,50] [-cross MBPS] [-fifo MBPS]
+//	trains [-lens 3,10,50] [-cross MBPS] [-fifo MBPS] [-scenario FILE.json]
 //	       [-scale tiny|default|paper] [-reps N] [-points N] [-seconds S]
 //	       [-seed N] [-workers N] [-format table|csv|json]
+//
+// With -scenario the measured cell — channel, topology, EDCA, cross
+// flows — comes from a declarative spec file instead of the -cross and
+// -fifo scalars (which then conflict and are rejected); -lens still
+// selects the train lengths and explicit -seed overrides the spec.
 package main
 
 import (
@@ -49,6 +54,23 @@ func main() {
 	id := "fig13"
 	if *fifo > 0 {
 		id = "fig15"
+	}
+	if scen, err := common.Scenario(); err != nil {
+		clikit.Exitf(2, "%v", err)
+	} else if scen != nil {
+		for _, name := range []string{"cross", "fifo"} {
+			if common.Explicit(name) {
+				clikit.Exitf(2, "-%s conflicts with -scenario: the spec describes the cell", name)
+			}
+		}
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		p.Seed = scen.Link.Seed
+		p.Base = &scen.Link
+		if scen.Link.ProbeSize > 0 {
+			p.PacketSize = scen.Link.ProbeSize
+		}
+		id = scen.Name
+		sc = common.ScenarioScale(sc, scen)
 	}
 	fig, err := experiments.TrainRRC(id, p, sc)
 	clikit.Check(err)

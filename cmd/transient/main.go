@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	transient [-fig 6|7|8|9] [-train N]
+//	transient [-fig 6|7|8|9] [-train N] [-scenario FILE.json]
 //	          [-scale tiny|default|paper] [-reps N]
 //	          [-seed N] [-workers N] [-format table|csv|json]
 //
 // -seed 0 keeps the figure's paper seed.
+//
+// With -scenario the measured cell and the train plan come from a
+// declarative spec file (train probing plan required) and -fig selects
+// which analysis runs over it; explicit -train/-seed flags override
+// the spec.
 package main
 
 import (
@@ -30,23 +35,39 @@ func main() {
 	if err != nil {
 		clikit.Exitf(2, "%v", err)
 	}
+	// params resolves the experiment parameters for the selected figure:
+	// the hand-wired paper defaults, or the compiled -scenario cell with
+	// explicit flags layered on top.
+	params := func(def experiments.TransientParams) experiments.TransientParams {
+		scen, err := common.Scenario()
+		if err != nil {
+			clikit.Exitf(2, "%v", err)
+		}
+		p := def
+		if scen != nil {
+			scen.Link.Seed = common.ScenarioSeed(scen)
+			p, err = experiments.TransientParamsFromCompiled(scen)
+			if err != nil {
+				clikit.Exitf(2, "%v", err)
+			}
+			sc = common.ScenarioScale(sc, scen)
+		}
+		override(&p, *train, common.Seed)
+		return p
+	}
 	var fig *experiments.Figure
 	switch *figNum {
 	case 6:
-		p := experiments.DefaultFig6()
-		override(&p, *train, common.Seed)
+		p := params(experiments.DefaultFig6())
 		fig, err = experiments.Fig6MeanAccessDelay(p, sc, 150)
 	case 7:
-		p := experiments.DefaultFig6()
-		override(&p, *train, common.Seed)
+		p := params(experiments.DefaultFig6())
 		fig, err = experiments.Fig7Histograms(p, sc, p.TrainLen/2, 30)
 	case 8:
-		p := experiments.DefaultFig8()
-		override(&p, *train, common.Seed)
+		p := params(experiments.DefaultFig8())
 		fig, err = experiments.FigKS("fig08", p, sc, experiments.DefaultKSOptions(p.TrainLen))
 	case 9:
-		p := experiments.DefaultFig9()
-		override(&p, *train, common.Seed)
+		p := params(experiments.DefaultFig9())
 		opt := experiments.DefaultKSOptions(p.TrainLen)
 		opt.Packets = 50
 		fig, err = experiments.FigKS("fig09", p, sc, opt)
@@ -57,11 +78,17 @@ func main() {
 	clikit.Check(common.Emit(os.Stdout, fig))
 }
 
+// override layers the explicit command-line knobs on top of the
+// resolved parameters; it mutates Base too so the plan's substream
+// tree and the params agree.
 func override(p *experiments.TransientParams, train int, seed int64) {
 	if train > 0 {
 		p.TrainLen = train
 	}
 	if seed != 0 {
 		p.Seed = seed
+		if p.Base != nil {
+			p.Base.Seed = seed
+		}
 	}
 }

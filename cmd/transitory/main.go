@@ -7,8 +7,14 @@
 // Usage:
 //
 //	transitory [-train N] [-loads 0.1,0.5,1.0] [-tols 0.1,0.01]
+//	           [-scenario FILE.json]
 //	           [-scale tiny|default|paper] [-reps N]
 //	           [-seed N] [-workers N] [-format table|csv|json]
+//
+// With -scenario the measured cell — channel, topology, EDCA — comes
+// from a declarative spec file; the load sweep still overrides the
+// cell's first contender rate per point, a train-plan spec supplies
+// the train length, and explicit -train/-seed flags override the spec.
 package main
 
 import (
@@ -45,6 +51,20 @@ func main() {
 		TrainLen:        *train,
 		Tolerances:      tolVals,
 		Seed:            common.Seed,
+	}
+	if scen, err := common.Scenario(); err != nil {
+		clikit.Exitf(2, "%v", err)
+	} else if scen != nil {
+		scen.Link.Seed = common.ScenarioSeed(scen)
+		p.Seed = scen.Link.Seed
+		p.Base = &scen.Link
+		if scen.Link.ProbeSize > 0 {
+			p.PacketSize = scen.Link.ProbeSize
+		}
+		if scen.Probing.TrainLen > 0 && !common.Explicit("train") {
+			p.TrainLen = scen.Probing.TrainLen
+		}
+		sc = common.ScenarioScale(sc, scen)
 	}
 	fig, err := experiments.Fig10TransientDuration(p, sc)
 	clikit.Check(err)

@@ -21,6 +21,7 @@ import (
 	"csmabw/internal/experiments"
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
+	"csmabw/internal/scenario"
 )
 
 // Defaults are the per-tool defaults for the common flags.
@@ -47,6 +48,9 @@ type Flags struct {
 	Seed      int64
 	Format    string
 
+	// Scen holds the shared -scenario flag; Scenario resolves it.
+	Scen *ScenarioFlag
+
 	fs       *flag.FlagSet
 	defScale string
 }
@@ -65,7 +69,91 @@ func Register(fs *flag.FlagSet, def Defaults) *Flags {
 	fs.IntVar(&f.Workers, "workers", 0, "worker goroutines for replications (0 = all cores); results are identical at any count")
 	fs.Int64Var(&f.Seed, "seed", def.Seed, "random seed")
 	fs.StringVar(&f.Format, "format", "table", "output format: table, csv or json")
+	f.Scen = RegisterScenario(fs)
 	return f
+}
+
+// Explicit reports whether the named flag was passed on the command
+// line (as opposed to holding its default). Tools use it to implement
+// the scenario precedence rule: tool default < spec field < explicit
+// command-line flag.
+func (f *Flags) Explicit(name string) bool {
+	return Passed(f.fs, name)
+}
+
+// Passed reports whether the named flag was given on the command line
+// of fs — the standalone form of Flags.Explicit for front ends with
+// hand-rolled flag sets.
+func Passed(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Scenario compiles the -scenario spec file; (nil, nil) when the flag
+// is unset.
+func (f *Flags) Scenario() (*scenario.Compiled, error) {
+	return f.Scen.Compiled()
+}
+
+// ScenarioSeed resolves the seed precedence against a compiled
+// scenario: an explicit -seed wins, otherwise the spec's seed applies,
+// otherwise the tool default already in f.Seed. A nil scenario leaves
+// f.Seed untouched.
+func (f *Flags) ScenarioSeed(c *scenario.Compiled) int64 {
+	if c == nil || f.Explicit("seed") {
+		return f.Seed
+	}
+	return c.Link.Seed
+}
+
+// ScenarioScale overlays the spec's probing plan onto the resolved
+// scale: the spec's reps/duration act like tool defaults, so explicit
+// -reps/-seconds flags still win. A nil scenario returns sc unchanged.
+func (f *Flags) ScenarioScale(sc experiments.Scale, c *scenario.Compiled) experiments.Scale {
+	if c == nil {
+		return sc
+	}
+	if c.Probing.Reps > 0 && !f.Explicit("reps") {
+		sc.Reps = c.Probing.Reps
+	}
+	if c.Probing.DurationSeconds > 0 && !f.Explicit("seconds") {
+		sc.SteadySeconds = c.Probing.DurationSeconds
+	}
+	return sc
+}
+
+// ScenarioFlag holds the shared -scenario knob: a declarative spec
+// file (internal/scenario) compiled into the tool's measured cell.
+// Every cmd front end registers it — through Register or standalone —
+// so workloads move between tools as files, not flag soup.
+type ScenarioFlag struct {
+	// Path is the spec file; empty means no scenario.
+	Path string
+}
+
+// RegisterScenario installs the -scenario flag on fs and returns the
+// destination struct, populated after fs.Parse. Tools that use
+// Register get this for free; only front ends with fully hand-rolled
+// flag sets call it directly.
+func RegisterScenario(fs *flag.FlagSet) *ScenarioFlag {
+	s := &ScenarioFlag{}
+	fs.StringVar(&s.Path, "scenario", "",
+		"declarative scenario spec (JSON) describing the measured cell; explicit flags override spec fields")
+	return s
+}
+
+// Compiled loads, parses and compiles the spec file; (nil, nil) when
+// the flag is unset.
+func (s *ScenarioFlag) Compiled() (*scenario.Compiled, error) {
+	if s.Path == "" {
+		return nil, nil
+	}
+	return scenario.CompileFile(s.Path)
 }
 
 // Scale resolves the preset plus overrides into a Scale, including the

@@ -53,6 +53,20 @@ func DefaultEDCATransient() EDCATransientParams {
 	}
 }
 
+// curveLink is the measured cell of one access-category curve, exposed
+// as a method so the spec↔hand-wired equivalence tests compare against
+// the exact construction the driver runs.
+func (p EDCATransientParams) curveLink(curve int) probe.Link {
+	return probe.Link{
+		ProbeSize: p.PacketSize,
+		ProbeAC:   p.ACs[curve],
+		Contenders: []probe.Flow{
+			{RateBps: p.CrossRateBps, Size: p.PacketSize, AC: p.CrossAC},
+		},
+		Seed: p.Seed + int64(curve)*1013,
+	}
+}
+
 // EDCATransient reproduces the mean access-delay transient of Figure 6
 // once per probing access category. The transient exists because early
 // probe packets find the medium idle and later ones queue behind
@@ -82,16 +96,8 @@ func EDCATransient(p EDCATransientParams, sc Scale) (*Figure, error) {
 			// One plan per probing category: the per-curve link (probe AC
 			// and seed vary) is resolved once here, not once per unit.
 			plans = make([]*probe.TrainPlan, len(p.ACs))
-			for curve, ac := range p.ACs {
-				l := probe.Link{
-					ProbeSize: p.PacketSize,
-					ProbeAC:   ac,
-					Contenders: []probe.Flow{
-						{RateBps: p.CrossRateBps, Size: p.PacketSize, AC: p.CrossAC},
-					},
-					Seed: p.Seed + int64(curve)*1013,
-				}
-				plan, err := probe.PlanTrain(l, p.TrainLen, p.ProbeRateBps)
+			for curve := range p.ACs {
+				plan, err := probe.PlanTrain(p.curveLink(curve), p.TrainLen, p.ProbeRateBps)
 				if err != nil {
 					return err
 				}

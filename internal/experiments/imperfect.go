@@ -122,6 +122,18 @@ func DefaultFERTransient() FERTransientParams {
 	}
 }
 
+// curveLink is the measured cell of one FER curve, exposed as a method
+// so the spec↔hand-wired equivalence tests compare against the exact
+// construction the driver runs.
+func (p FERTransientParams) curveLink(curve int) probe.Link {
+	return probe.Link{
+		ProbeSize:  p.PacketSize,
+		Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
+		Seed:       p.Seed + int64(curve)*977,
+		Loss:       phy.ErrorModel{FER: p.FERs[curve]},
+	}
+}
+
 // FERTransient reproduces the mean access-delay transient of Figure 6
 // under each configured frame-error rate: retransmissions both raise
 // the steady-state access delay and stretch the transient the paper's
@@ -143,13 +155,7 @@ func FERTransient(p FERTransientParams, sc Scale) (*Figure, error) {
 				if err := (phy.ErrorModel{FER: fer}).Validate(); err != nil {
 					return err
 				}
-				l := probe.Link{
-					ProbeSize:  p.PacketSize,
-					Contenders: []probe.Flow{{RateBps: p.CrossRateBps, Size: p.PacketSize}},
-					Seed:       p.Seed + int64(curve)*977,
-					Loss:       phy.ErrorModel{FER: fer},
-				}
-				plan, err := probe.PlanTrain(l, p.TrainLen, p.ProbeRateBps)
+				plan, err := probe.PlanTrain(p.curveLink(curve), p.TrainLen, p.ProbeRateBps)
 				if err != nil {
 					return err
 				}

@@ -19,6 +19,11 @@ type TrainRRCParams struct {
 	PacketSize    int
 	MaxProbeBps   float64
 	Seed          int64
+	// Base, when non-nil, is the complete measured cell — channel,
+	// topology, EDCA and all — typically compiled from a scenario spec.
+	// It replaces the cell the scalar fields above would assemble; the
+	// per-unit seed and Workers pin are still applied on top.
+	Base *probe.Link
 }
 
 // DefaultFig13 matches the paper's Figure 13: no FIFO cross-traffic.
@@ -47,6 +52,12 @@ func DefaultFig15() TrainRRCParams {
 // inner replication loop staying serial keeps total concurrency at the
 // configured worker count instead of its square.
 func (p TrainRRCParams) link(seed int64) probe.Link {
+	if p.Base != nil {
+		l := cloneLink(p.Base)
+		l.Seed = seed
+		l.Workers = 1
+		return l
+	}
 	l := probe.Link{
 		ProbeSize: p.PacketSize,
 		Seed:      seed,
@@ -136,6 +147,11 @@ type Fig16Params struct {
 	PacketSize  int
 	SaturateBps float64 // probing rate used to measure the actual response
 	Seed        int64
+	// Base, when non-nil, is the complete measured cell the sweep runs
+	// over (typically spec-compiled): each level overrides its first
+	// contender's rate with the swept cross-traffic rate, adding that
+	// contender if the cell has none and dropping it at the zero level.
+	Base *probe.Link
 }
 
 // DefaultFig16 sweeps cross-traffic 0..10 Mb/s as in the paper.
@@ -165,8 +181,19 @@ func Fig16PacketPair(p Fig16Params, sc Scale) (*Figure, error) {
 			cr := p.CrossRates[i]
 			// Workers pinned to 1: the Scenario parallelizes across cross-traffic levels.
 			l := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed + int64(i)*61, Workers: 1}
+			if p.Base != nil {
+				l = cloneLink(p.Base)
+				l.Seed = p.Seed + int64(i)*61
+				l.Workers = 1
+				l.Contenders = nil
+			}
 			if cr > 0 {
-				l.Contenders = []probe.Flow{{RateBps: cr, Size: p.PacketSize}}
+				if p.Base != nil && len(p.Base.Contenders) > 0 {
+					l.Contenders = []probe.Flow{p.Base.Contenders[0]}
+					l.Contenders[0].RateBps = cr
+				} else {
+					l.Contenders = []probe.Flow{{RateBps: cr, Size: p.PacketSize}}
+				}
 			}
 			ss, err := probe.MeasureSteadyState(l, p.SaturateBps, dur)
 			if err != nil {
@@ -216,6 +243,10 @@ type Fig17Params struct {
 	PacketSize    int
 	MaxProbeBps   float64
 	Seed          int64
+	// Base, when non-nil, is the complete measured cell — typically
+	// spec-compiled — replacing the one the scalar fields would build;
+	// the per-point seed and Workers pin are still applied on top.
+	Base *probe.Link
 }
 
 // DefaultFig17 matches the paper's 20-packet trains with MSER-2.
@@ -252,6 +283,11 @@ func Fig17MSER(p Fig17Params, sc Scale) (*Figure, error) {
 				Contenders: []probe.Flow{{RateBps: p.ContendingBps, Size: p.PacketSize}},
 				Seed:       p.Seed + int64(i)*41,
 				Workers:    1, // Scenario parallelizes across rate points
+			}
+			if p.Base != nil {
+				l = cloneLink(p.Base)
+				l.Seed = p.Seed + int64(i)*41
+				l.Workers = 1
 			}
 			ss, err := probe.MeasureSteadyState(l, ri, dur)
 			if err != nil {

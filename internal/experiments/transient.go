@@ -18,6 +18,13 @@ type TransientParams struct {
 	Contenders   []probe.Flow
 	PacketSize   int
 	Seed         int64
+	// Base, when non-nil, is the complete measured cell — channel,
+	// topology, EDCA, FIFO cross flows and all — typically compiled
+	// from a scenario spec. It replaces the cell the scalar fields
+	// above would assemble; ProbeRateBps and TrainLen still shape the
+	// probing plan, and Seed should equal Base.Seed so the substream
+	// tree and the link agree.
+	Base *probe.Link
 }
 
 // DefaultFig6 mirrors the paper's Figure 6/7 scenario: probe at 5 Mb/s,
@@ -62,6 +69,9 @@ func DefaultFig9() TransientParams {
 }
 
 func (p TransientParams) link() probe.Link {
+	if p.Base != nil {
+		return *p.Base
+	}
 	return probe.Link{
 		ProbeSize:  p.PacketSize,
 		Contenders: p.Contenders,
@@ -97,12 +107,12 @@ func rows(samples []probe.TrainSample) (delays, queues [][]float64) {
 	return ts.DelaysByIndex(), ts.QueueByIndex()
 }
 
-// Fig6MeanAccessDelay reproduces Figure 6: the mean access delay of
-// each of the first `show` probe packets across replications, exposing
-// the transient acceleration of early packets.
-func Fig6MeanAccessDelay(p TransientParams, sc Scale, show int) (*Figure, error) {
-	scen := p.trainScenario(sc.Reps)
-	scen.Reduce = func(samples []probe.TrainSample) (*Figure, error) {
+// meanDelayReduce builds the Figure-6-style reduce: the mean access
+// delay of each of the first show probe packets across replications.
+// Fig6MeanAccessDelay and the scenario-spec transient driver share it,
+// so a spec-described cell renders exactly like the hand-wired figure.
+func meanDelayReduce(id, title string, show int) func([]probe.TrainSample) (*Figure, error) {
+	return func(samples []probe.TrainSample) (*Figure, error) {
 		delays, _ := rows(samples)
 		means := stats.RunningMeans(delays)
 		n := show
@@ -115,13 +125,21 @@ func Fig6MeanAccessDelay(p TransientParams, sc Scale, show int) (*Figure, error)
 			s.Y = append(s.Y, means[i]*1e3)
 		}
 		return &Figure{
-			ID:     "fig06",
-			Title:  "Mean access delay vs probe packet number",
+			ID:     id,
+			Title:  title,
 			XLabel: "packet #",
 			YLabel: "access delay (ms)",
 			Series: []Series{s},
 		}, nil
 	}
+}
+
+// Fig6MeanAccessDelay reproduces Figure 6: the mean access delay of
+// each of the first `show` probe packets across replications, exposing
+// the transient acceleration of early packets.
+func Fig6MeanAccessDelay(p TransientParams, sc Scale, show int) (*Figure, error) {
+	scen := p.trainScenario(sc.Reps)
+	scen.Reduce = meanDelayReduce("fig06", "Mean access delay vs probe packet number", show)
 	return Run(scen, sc)
 }
 
@@ -260,6 +278,11 @@ type Fig10Params struct {
 	TrainLen        int
 	Tolerances      []float64 // paper: 0.1 and 0.01
 	Seed            int64
+	// Base, when non-nil, is the complete measured cell the load sweep
+	// runs over (typically spec-compiled): each point overrides its
+	// first contender's rate with the swept cross load, adding that
+	// contender if the cell has none.
+	Base *probe.Link
 }
 
 // DefaultFig10 mirrors the paper: probe at 1 Erlang, cross loads up to
@@ -282,6 +305,9 @@ func DefaultFig10() Fig10Params {
 // independent unit on the worker pool.
 func Fig10TransientDuration(p Fig10Params, sc Scale) (*Figure, error) {
 	phyP := probe.Link{ProbeSize: p.PacketSize, Seed: p.Seed}.WithDefaults().Phy
+	if p.Base != nil {
+		phyP = p.Base.WithDefaults().Phy
+	}
 	probeRate := traffic.RateForLoad(phyP, p.ProbeLoadErlang, p.PacketSize)
 	return Run(Scenario[[]int]{
 		Seed:  p.Seed,
@@ -293,6 +319,16 @@ func Fig10TransientDuration(p Fig10Params, sc Scale) (*Figure, error) {
 				Contenders: []probe.Flow{{RateBps: crossRate, Size: p.PacketSize}},
 				Seed:       p.Seed + int64(li)*977,
 				Workers:    1, // Scenario parallelizes across load points
+			}
+			if p.Base != nil {
+				link = cloneLink(p.Base)
+				link.Seed = p.Seed + int64(li)*977
+				link.Workers = 1
+				if len(link.Contenders) > 0 {
+					link.Contenders[0].RateBps = crossRate
+				} else {
+					link.Contenders = []probe.Flow{{RateBps: crossRate, Size: p.PacketSize}}
+				}
 			}
 			ts, err := probe.MeasureTrain(link, p.TrainLen, probeRate, sc.Reps)
 			if err != nil {

@@ -63,11 +63,11 @@ type Flow struct {
 	DataRateBps float64
 }
 
-// source realises the flow over [0, end) as a lazy pull-based
+// Source realises the flow over [0, end) as a lazy pull-based
 // generator: arrivals are drawn only as the simulation consumes them,
 // so a replication that stops early never generates the tail. The draw
 // order is identical to the eager schedules the engine used to take.
-func (f Flow) source(r *sim.Rand, end sim.Time) traffic.Source {
+func (f Flow) Source(r *sim.Rand, end sim.Time) traffic.Source {
 	if f.OnMean > 0 && f.OffMean > 0 {
 		duty := float64(f.OnMean) / float64(f.OnMean+f.OffMean)
 		return traffic.NewOnOff(r, f.RateBps/duty, f.Size, f.OnMean, f.OffMean, 0, end)
@@ -147,6 +147,90 @@ func (l Link) WithDefaults() Link {
 	return l
 }
 
+// validate screens one flow's knobs; kind and index name the flow in
+// error messages ("FIFOCross[0]", "Contenders[2]").
+func (f Flow) validate(kind string, i int) error {
+	at := func(field string, format string, a ...any) error {
+		return fmt.Errorf("probe: %s[%d].%s: %s", kind, i, field, fmt.Sprintf(format, a...))
+	}
+	if math.IsNaN(f.RateBps) || math.IsInf(f.RateBps, 0) || f.RateBps < 0 {
+		return at("RateBps", "must be finite and >= 0, got %g", f.RateBps)
+	}
+	if f.Size < 0 {
+		return at("Size", "negative packet size %d", f.Size)
+	}
+	if f.RateBps > 0 && f.Size == 0 {
+		return at("Size", "flow carries %g bit/s in zero-byte packets", f.RateBps)
+	}
+	if f.OnMean < 0 || f.OffMean < 0 {
+		return at("OnMean/OffMean", "negative burst period (on=%v off=%v)", f.OnMean, f.OffMean)
+	}
+	if (f.OnMean > 0) != (f.OffMean > 0) {
+		return at("OnMean/OffMean", "on/off process needs both periods positive (on=%v off=%v)", f.OnMean, f.OffMean)
+	}
+	if math.IsNaN(f.PowerDB) || math.IsInf(f.PowerDB, 0) {
+		return at("PowerDB", "non-finite power %g", f.PowerDB)
+	}
+	if !f.AC.Valid() {
+		return at("AC", "unknown access category %v", f.AC)
+	}
+	if math.IsNaN(f.DataRateBps) || math.IsInf(f.DataRateBps, 0) || f.DataRateBps < 0 {
+		return at("DataRateBps", "must be finite and >= 0, got %g", f.DataRateBps)
+	}
+	return nil
+}
+
+// Validate screens every knob of the link for values the engine cannot
+// run — NaN/Inf rates and powers, negative sizes and thresholds,
+// malformed on/off processes, and a hearing topology whose station
+// count disagrees with 1+len(Contenders). Historically these checks
+// lived only at command-line parse time, so programmatic construction
+// (and the scenario compiler) could smuggle invalid configs into the
+// engine; every measurement entry point now calls Validate first. Zero
+// values are always valid: defaults are applied later by WithDefaults.
+func (l Link) Validate() error {
+	if l.ProbeSize < 0 {
+		return fmt.Errorf("probe: ProbeSize: negative packet size %d", l.ProbeSize)
+	}
+	if l.WarmUp < 0 {
+		return fmt.Errorf("probe: WarmUp: negative duration %v", l.WarmUp)
+	}
+	for i, f := range l.FIFOCross {
+		if err := f.validate("FIFOCross", i); err != nil {
+			return err
+		}
+	}
+	for i, f := range l.Contenders {
+		if err := f.validate("Contenders", i); err != nil {
+			return err
+		}
+	}
+	if err := l.Loss.Validate(); err != nil {
+		return fmt.Errorf("probe: Loss: %w", err)
+	}
+	if math.IsNaN(l.CaptureDB) || math.IsInf(l.CaptureDB, 0) || l.CaptureDB < 0 {
+		return fmt.Errorf("probe: CaptureDB: must be finite and >= 0, got %g", l.CaptureDB)
+	}
+	if math.IsNaN(l.ProbePowerDB) || math.IsInf(l.ProbePowerDB, 0) {
+		return fmt.Errorf("probe: ProbePowerDB: non-finite power %g", l.ProbePowerDB)
+	}
+	if l.RTSThreshold < 0 {
+		return fmt.Errorf("probe: RTSThreshold: negative threshold %d", l.RTSThreshold)
+	}
+	if !l.ProbeAC.Valid() {
+		return fmt.Errorf("probe: ProbeAC: unknown access category %v", l.ProbeAC)
+	}
+	if math.IsNaN(l.ProbeDataRateBps) || math.IsInf(l.ProbeDataRateBps, 0) || l.ProbeDataRateBps < 0 {
+		return fmt.Errorf("probe: ProbeDataRateBps: must be finite and >= 0, got %g", l.ProbeDataRateBps)
+	}
+	if l.Topology != nil {
+		if err := l.Topology.Validate(1 + len(l.Contenders)); err != nil {
+			return fmt.Errorf("probe: Topology: %w", err)
+		}
+	}
+	return nil
+}
+
 // channel assembles the propagation model the link describes. The
 // zero-value knobs yield the zero mac.Channel: the perfect single
 // collision domain, byte-identical to the pre-extension engine.
@@ -219,7 +303,7 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 	station0 := []traffic.Source{traffic.NewTrain(n, gI, l.ProbeSize, start)}
 	for fi, f := range l.FIFOCross {
 		station0 = append(station0,
-			f.source(r.Split(uint64(fi)+100), end))
+			f.Source(r.Split(uint64(fi)+100), end))
 	}
 	cfg := mac.Config{
 		Phy:          l.Phy,
@@ -248,7 +332,7 @@ func (l Link) stations(station0 []traffic.Source, r *sim.Rand, end sim.Time) []m
 	for ci, f := range l.Contenders {
 		out = append(out, mac.StationConfig{
 			Name:     fmt.Sprintf("contender-%d", ci),
-			Source:   f.source(r.Split(uint64(ci)+200), end),
+			Source:   f.Source(r.Split(uint64(ci)+200), end),
 			PowerDB:  f.PowerDB,
 			AC:       f.AC,
 			DataRate: f.DataRateBps,
@@ -356,6 +440,9 @@ func MeasureTrain(l Link, n int, rateBps float64, reps int) (*TrainStats, error)
 // resolved, train length validated, and the input gap derived from the
 // probing rate.
 func (l Link) trainSetup(n int, rateBps float64) (Link, sim.Time, error) {
+	if err := l.Validate(); err != nil {
+		return l, 0, err
+	}
 	l = l.WithDefaults()
 	if n < 1 {
 		return l, 0, fmt.Errorf("probe: train length %d", n)
@@ -606,6 +693,9 @@ type SteadyState struct {
 // MeasureSteadyState runs the long-train experiment at rate rateBps for
 // the given duration (excluding warm-up).
 func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyState, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
 	l = l.WithDefaults()
 	if rateBps <= 0 {
 		return nil, fmt.Errorf("probe: steady state needs positive rate, got %g", rateBps)
@@ -620,7 +710,7 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 	station0 := []traffic.Source{traffic.Marked(traffic.NewCBR(rateBps, l.ProbeSize, start, end))}
 	for fi, f := range l.FIFOCross {
 		station0 = append(station0,
-			f.source(r.Split(uint64(fi)+100), end))
+			f.Source(r.Split(uint64(fi)+100), end))
 	}
 	cfg := mac.Config{
 		Phy:          l.Phy,

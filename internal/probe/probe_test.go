@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"csmabw/internal/mac"
 	"csmabw/internal/phy"
 	"csmabw/internal/sim"
 )
@@ -498,14 +499,26 @@ func TestMeterRecoversFromBadConfig(t *testing.T) {
 	if _, err := good.MeasureOne(m, 0); err != nil {
 		t.Fatal(err)
 	}
+	// A statically invalid link no longer reaches the meter at all —
+	// PlanTrain's Validate rejects it up front.
 	bad := quietLink(9)
 	bad.Loss = phy.ErrorModel{FER: 2} // invalid: probability > 1
-	badPlan, err := PlanTrain(bad, 10, 1e6)
+	if _, err := PlanTrain(bad, 10, 1e6); err == nil {
+		t.Fatal("invalid loss model accepted by PlanTrain")
+	}
+	// A config that passes static validation but fails inside the
+	// engine (TXOP-enabled AC over a hidden topology is rejected at run
+	// time) still exercises the failure path through the meter.
+	engineBad := quietLink(9)
+	engineBad.ProbeAC = phy.ACVoice
+	engineBad.Contenders = []Flow{{RateBps: 1e5, Size: 500}}
+	engineBad.Topology = mac.NewTopology(2)
+	badPlan, err := PlanTrain(engineBad, 10, 1e6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := badPlan.MeasureOne(m, 0); err == nil {
-		t.Fatal("invalid loss model accepted")
+		t.Fatal("TXOP over hidden topology accepted")
 	}
 	after, err := good.MeasureOne(m, 3)
 	if err != nil {

@@ -1,0 +1,546 @@
+// Package scenario is the declarative front door to the simulator: a
+// small JSON spec — one file per measured cell — describing the
+// stations (access category, data rate, power, traffic source), the
+// hearing topology, the channel error models, the probing plan and the
+// estimator settings, compiled into the existing probe.Link /
+// mac.Config / estimate structures. The compiler validates everything
+// statically — unknown keys, NaN/Inf/negative knobs, topology bounds,
+// TXOP-vs-hidden-topology conflicts — and rejects a bad spec with a
+// positional error ("stations[2].traffic.rate_mbps: …") before
+// anything runs. Every cmd tool accepts a spec through the shared
+// -scenario flag, and the checked-in library under scenarios/ holds
+// the reusable cells the experiment drivers and docs point at.
+//
+// The spec is deliberately declarative and engine-agnostic: it names
+// workloads (what the cell looks like, how it is probed), not Go
+// structures, so campaign tooling can iterate over scenario files
+// without touching code in probe, experiments or the cmd front ends.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Spec is the parsed (but not yet compiled) scenario description,
+// mirroring the JSON field for field. Parse fills it; Compile turns it
+// into engine configuration. Zero values mean "use the engine default"
+// throughout, so a minimal spec is just a name and a probing plan.
+type Spec struct {
+	// Name identifies the scenario; it doubles as the figure ID when a
+	// driver renders the cell, and scenlint requires it to match the
+	// library file's base name.
+	Name string
+	// Description is free documentation carried along for -h/README use.
+	Description string
+	// Phy names the PHY profile: "" (engine default, 802.11b long
+	// preamble), b11, b11short, g54 or a54.
+	Phy string
+	// Seed drives all randomness of the compiled cell.
+	Seed int64
+	// RTSThresholdBytes enables RTS/CTS for payloads meeting it; 0 off.
+	RTSThresholdBytes int
+	// Probe configures the probing station.
+	Probe ProbeSpec
+	// FIFOCross are flows sharing the probing station's FIFO queue.
+	FIFOCross []FlowSpec
+	// Stations are the contending cross-traffic stations.
+	Stations []StationSpec
+	// Channel is the propagation model.
+	Channel ChannelSpec
+	// Probing is the measurement plan (required).
+	Probing ProbingSpec
+	// Estimator optionally configures a closed-loop estimator campaign.
+	Estimator *EstimatorSpec
+	// Phases are free-text time-phased notes ("0-10s: warmup", …);
+	// they are carried through to the compiled scenario untouched.
+	Phases []string
+}
+
+// ProbeSpec configures the probing station itself.
+type ProbeSpec struct {
+	// SizeBytes is the probe payload in bytes (0 = default 1500).
+	SizeBytes int
+	// AC is the probing station's access category ("" = plain DCF).
+	AC string
+	// DataRateMbps is the station's modulation rate (0 = PHY rate).
+	DataRateMbps float64
+	// PowerDB is the received power at the common receiver, relative dB.
+	PowerDB float64
+	// WarmupSeconds is the cross-traffic warm-up (0 = default 0.5s).
+	WarmupSeconds float64
+}
+
+// FlowSpec is one traffic flow: Poisson by default, on/off when the
+// burst periods are set.
+type FlowSpec struct {
+	// Kind is "poisson" (default) or "onoff".
+	Kind string
+	// RateMbps is the average offered rate.
+	RateMbps float64
+	// SizeBytes is the fixed packet size.
+	SizeBytes int
+	// OnSeconds/OffSeconds are the mean burst periods (onoff only).
+	OnSeconds, OffSeconds float64
+}
+
+// StationSpec is one contending station and its traffic.
+type StationSpec struct {
+	// Name labels the station in tool output ("" = contender-i).
+	Name string
+	// Traffic is the station's offered load (required).
+	Traffic FlowSpec
+	// AC is the station's access category ("" = plain DCF).
+	AC string
+	// DataRateMbps is the station's modulation rate (0 = PHY rate).
+	DataRateMbps float64
+	// PowerDB is the received power at the common receiver, relative dB.
+	PowerDB float64
+}
+
+// ChannelSpec is the propagation model: frame/bit error rates,
+// receiver capture and the hearing topology.
+type ChannelSpec struct {
+	// FER is the frame-error rate in [0,1).
+	FER float64
+	// BER is the bit-error rate in [0,1).
+	BER float64
+	// CaptureDB is the receiver capture threshold (0 = no capture).
+	CaptureDB float64
+	// Topology is the hearing graph (nil = full mesh).
+	Topology *TopologySpec
+}
+
+// TopologySpec names the hearing graph over station 0 (the probing
+// station) and stations 1..len(Stations).
+type TopologySpec struct {
+	// Kind is mesh, hidden, chain or links.
+	Kind string
+	// Links lists the hearing pairs for kind "links", as [a,b] station
+	// index pairs (symmetric).
+	Links [][2]int
+}
+
+// ProbingSpec is the measurement plan: either a packet train
+// (transient / dispersion measurements) or a long steady-state run
+// (rate-response measurements).
+type ProbingSpec struct {
+	// Plan is "train" or "steady".
+	Plan string
+	// Packets is the train length (train plans).
+	Packets int
+	// RateMbps is the probing rate: the train's nominal input rate, or
+	// the steady plan's offered rate (doubling as the sweep ceiling for
+	// rate-response figures).
+	RateMbps float64
+	// GapMs is the train input gap in milliseconds, an alternative to
+	// RateMbps (setting both is an error).
+	GapMs float64
+	// Reps is the replication count (train plans; 0 = scale preset).
+	Reps int
+	// DurationSeconds is the per-point duration (steady plans; 0 =
+	// scale preset).
+	DurationSeconds float64
+}
+
+// EstimatorSpec configures a closed-loop estimator campaign over the
+// compiled cell.
+type EstimatorSpec struct {
+	// Kind is topp, slops, adaptive or all.
+	Kind string
+	// TargetRel is the adaptive controller's relative CI95 target
+	// (0 = tool default).
+	TargetRel float64
+	// ResolutionMbps is the SLoPS bisection resolution (0 = default).
+	ResolutionMbps float64
+	// MaxProbeSeconds caps the campaign's cumulative wire time (0 = uncapped).
+	MaxProbeSeconds float64
+	// MaxPackets caps the campaign's probe packets (0 = uncapped).
+	MaxPackets int
+}
+
+// obj walks one JSON object with positional error reporting and strict
+// unknown-key rejection. Accessors record the first error in a shared
+// slot and return zero values afterwards, so parsing code reads
+// straight through without per-field error plumbing.
+type obj struct {
+	path string
+	m    map[string]any
+	seen map[string]bool
+	err  *error
+}
+
+// fail records err (with the object's path prefixed) unless an earlier
+// error already claimed the slot.
+func (o *obj) fail(key, format string, a ...any) {
+	if *o.err != nil {
+		return
+	}
+	at := o.path
+	if at != "" && key != "" {
+		at += "."
+	}
+	at += key
+	*o.err = fmt.Errorf("scenario: %s: %s", at, fmt.Sprintf(format, a...))
+}
+
+// get marks key as consumed and returns its raw value.
+func (o *obj) get(key string) (any, bool) {
+	o.seen[key] = true
+	v, ok := o.m[key]
+	return v, ok
+}
+
+// str reads an optional string field.
+func (o *obj) str(key string) string {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		o.fail(key, "want a string, got %s", typeName(v))
+		return ""
+	}
+	return s
+}
+
+// num reads an optional finite number field.
+func (o *obj) num(key string) float64 {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return 0
+	}
+	n, ok := v.(json.Number)
+	if !ok {
+		o.fail(key, "want a number, got %s", typeName(v))
+		return 0
+	}
+	f, err := n.Float64()
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		// json.Number.Float64 overflows to ±Inf for literals like 1e999;
+		// non-finite knobs poison every downstream comparison, so the
+		// parser is where they die.
+		o.fail(key, "non-finite number %q", n.String())
+		return 0
+	}
+	return f
+}
+
+// integer reads an optional integral number field.
+func (o *obj) integer(key string) int {
+	f := o.num(key)
+	if *o.err != nil {
+		return 0
+	}
+	if f != math.Trunc(f) || math.Abs(f) > 1<<53 {
+		o.fail(key, "want an integer, got %g", f)
+		return 0
+	}
+	return int(f)
+}
+
+// child reads an optional object field; nil when absent.
+func (o *obj) child(key string) *obj {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		o.fail(key, "want an object, got %s", typeName(v))
+		return nil
+	}
+	return &obj{path: o.joined(key), m: m, seen: map[string]bool{}, err: o.err}
+}
+
+// children reads an optional array-of-objects field.
+func (o *obj) children(key string) []*obj {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return nil
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		o.fail(key, "want an array, got %s", typeName(v))
+		return nil
+	}
+	out := make([]*obj, 0, len(arr))
+	for i, e := range arr {
+		m, ok := e.(map[string]any)
+		if !ok {
+			o.fail(fmt.Sprintf("%s[%d]", key, i), "want an object, got %s", typeName(e))
+			return nil
+		}
+		out = append(out, &obj{
+			path: fmt.Sprintf("%s[%d]", o.joined(key), i),
+			m:    m, seen: map[string]bool{}, err: o.err,
+		})
+	}
+	return out
+}
+
+// strs reads an optional array-of-strings field.
+func (o *obj) strs(key string) []string {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return nil
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		o.fail(key, "want an array, got %s", typeName(v))
+		return nil
+	}
+	out := make([]string, 0, len(arr))
+	for i, e := range arr {
+		s, ok := e.(string)
+		if !ok {
+			o.fail(fmt.Sprintf("%s[%d]", key, i), "want a string, got %s", typeName(e))
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// pairs reads an optional array of [a,b] integer pairs.
+func (o *obj) pairs(key string) [][2]int {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return nil
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		o.fail(key, "want an array, got %s", typeName(v))
+		return nil
+	}
+	out := make([][2]int, 0, len(arr))
+	for i, e := range arr {
+		at := fmt.Sprintf("%s[%d]", key, i)
+		pair, ok := e.([]any)
+		if !ok || len(pair) != 2 {
+			o.fail(at, "want a [a, b] station index pair")
+			return nil
+		}
+		var ab [2]int
+		for j, pe := range pair {
+			n, ok := pe.(json.Number)
+			f, ferr := 0.0, error(nil)
+			if ok {
+				f, ferr = n.Float64()
+			}
+			if !ok || ferr != nil || f != math.Trunc(f) {
+				o.fail(at, "want integer station indices")
+				return nil
+			}
+			ab[j] = int(f)
+		}
+		out = append(out, ab)
+	}
+	return out
+}
+
+// done rejects any key the walkers never consumed — the strictness
+// that turns a typo'd knob into a parse error instead of a silently
+// default-valued cell.
+func (o *obj) done() {
+	if *o.err != nil {
+		return
+	}
+	var unknown []string
+	for k := range o.m {
+		if !o.seen[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return
+	}
+	sort.Strings(unknown)
+	o.fail(unknown[0], "unknown key (known keys: %s)", strings.Join(knownKeys(o.seen), ", "))
+}
+
+// joined appends key to the object's path.
+func (o *obj) joined(key string) string {
+	if o.path == "" {
+		return key
+	}
+	return o.path + "." + key
+}
+
+// knownKeys lists the keys the walker consumed, sorted, for the
+// unknown-key error message.
+func knownKeys(seen map[string]bool) []string {
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeName names a decoded JSON value for error messages.
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "a bool"
+	case string:
+		return "a string"
+	case json.Number:
+		return "a number"
+	case []any:
+		return "an array"
+	case map[string]any:
+		return "an object"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// Parse decodes a scenario spec from JSON, strictly: unknown keys,
+// wrong types and non-finite numbers are positional errors. Parse only
+// checks structure; Compile performs the semantic validation (ranges,
+// topology bounds, plan consistency, TXOP conflicts).
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the spec object")
+	}
+	rootMap, ok := raw.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: spec must be a JSON object, got %s", typeName(raw))
+	}
+	var firstErr error
+	root := &obj{m: rootMap, seen: map[string]bool{}, err: &firstErr}
+
+	s := &Spec{
+		Name:              root.str("name"),
+		Description:       root.str("description"),
+		Phy:               root.str("phy"),
+		Seed:              int64(root.integer("seed")),
+		RTSThresholdBytes: root.integer("rts_threshold_bytes"),
+		Phases:            root.strs("phases"),
+	}
+	if p := root.child("probe"); p != nil {
+		s.Probe = ProbeSpec{
+			SizeBytes:     p.integer("size_bytes"),
+			AC:            p.str("ac"),
+			DataRateMbps:  p.num("data_rate_mbps"),
+			PowerDB:       p.num("power_db"),
+			WarmupSeconds: p.num("warmup_seconds"),
+		}
+		p.done()
+	}
+	for _, f := range root.children("fifo_cross") {
+		s.FIFOCross = append(s.FIFOCross, parseFlow(f))
+	}
+	for _, st := range root.children("stations") {
+		sp := StationSpec{
+			Name:         st.str("name"),
+			AC:           st.str("ac"),
+			DataRateMbps: st.num("data_rate_mbps"),
+			PowerDB:      st.num("power_db"),
+		}
+		if tr := st.child("traffic"); tr != nil {
+			sp.Traffic = parseFlow(tr)
+		} else {
+			st.fail("traffic", "station needs a traffic object")
+		}
+		st.done()
+		s.Stations = append(s.Stations, sp)
+	}
+	if ch := root.child("channel"); ch != nil {
+		s.Channel = ChannelSpec{
+			FER:       ch.num("fer"),
+			BER:       ch.num("ber"),
+			CaptureDB: ch.num("capture_db"),
+		}
+		if topo := ch.child("topology"); topo != nil {
+			s.Channel.Topology = &TopologySpec{
+				Kind:  topo.str("kind"),
+				Links: topo.pairs("links"),
+			}
+			topo.done()
+		}
+		ch.done()
+	}
+	if pr := root.child("probing"); pr != nil {
+		s.Probing = ProbingSpec{
+			Plan:            pr.str("plan"),
+			Packets:         pr.integer("packets"),
+			RateMbps:        pr.num("rate_mbps"),
+			GapMs:           pr.num("gap_ms"),
+			Reps:            pr.integer("reps"),
+			DurationSeconds: pr.num("duration_seconds"),
+		}
+		pr.done()
+	} else if firstErr == nil {
+		root.fail("probing", "spec needs a probing plan")
+	}
+	if est := root.child("estimator"); est != nil {
+		s.Estimator = &EstimatorSpec{
+			Kind:            est.str("kind"),
+			TargetRel:       est.num("target_rel"),
+			ResolutionMbps:  est.num("resolution_mbps"),
+			MaxProbeSeconds: est.num("max_probe_seconds"),
+			MaxPackets:      est.integer("max_packets"),
+		}
+		est.done()
+	}
+	root.done()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// parseFlow reads one traffic-flow object.
+func parseFlow(o *obj) FlowSpec {
+	f := FlowSpec{
+		Kind:       o.str("kind"),
+		RateMbps:   o.num("rate_mbps"),
+		SizeBytes:  o.integer("size_bytes"),
+		OnSeconds:  o.num("on_seconds"),
+		OffSeconds: o.num("off_seconds"),
+	}
+	o.done()
+	return f
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// CompileFile loads, parses and compiles a spec file in one step — the
+// path every -scenario flag goes through.
+func CompileFile(path string) (*Compiled, error) {
+	s, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}

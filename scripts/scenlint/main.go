@@ -1,0 +1,83 @@
+// Command scenlint polices the checked-in scenario specs: every
+// .json file under the given directories must compile through the
+// scenario package's full static validation, carry a description, and
+// have its spec name match the file's base name — so a spec is
+// addressable by the name it prints and the goldens it renders stay
+// traceable to one file. It runs in CI next to gofmt and go vet.
+//
+//	go run ./scripts/scenlint ./scenarios
+//
+// Exit status: 0 when clean, 1 with one "file: problem" line per
+// finding, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"csmabw/internal/scenario"
+)
+
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"./scenarios"}
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenlint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		os.Exit(1)
+	}
+}
+
+// lintDir validates every .json spec under dir and returns one finding
+// line per problem. A directory with no specs at all is itself a
+// finding — an empty glob would otherwise pass silently after a rename.
+func lintDir(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return []string{fmt.Sprintf("%s: no scenario specs found", dir)}, nil
+	}
+	var findings []string
+	for _, path := range paths {
+		findings = append(findings, lintFile(path)...)
+	}
+	return findings, nil
+}
+
+// lintFile compiles one spec file and checks its housekeeping
+// invariants, returning one finding line per problem.
+func lintFile(path string) []string {
+	c, err := scenario.CompileFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var findings []string
+	stem := strings.TrimSuffix(filepath.Base(path), ".json")
+	if c.Name != stem {
+		findings = append(findings, fmt.Sprintf("%s: spec name %q does not match file name %q", path, c.Name, stem))
+	}
+	if strings.TrimSpace(c.Description) == "" {
+		findings = append(findings, fmt.Sprintf("%s: spec has no description", path))
+	}
+	return findings
+}

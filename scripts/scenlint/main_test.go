@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckedInScenariosAreClean runs the linter over the real spec
+// directory: the checked-in scenarios must always pass.
+func TestCheckedInScenariosAreClean(t *testing.T) {
+	findings, err := lintDir("../../scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("checked-in scenarios have findings:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestEmptyDirIsAFinding(t *testing.T) {
+	findings, err := lintDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "no scenario specs") {
+		t.Errorf("findings = %v, want one no-specs finding", findings)
+	}
+}
+
+func TestLintFileFindings(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string // file base name, without .json
+		body string
+		frag string // substring of the expected finding ("" = clean)
+	}{
+		{name: "mismatch", body: `{"name": "other", "description": "d",
+			"probing": {"plan": "train", "packets": 10, "rate_mbps": 5}}`,
+			frag: "does not match"},
+		{name: "undescribed", body: `{"name": "undescribed",
+			"probing": {"plan": "train", "packets": 10, "rate_mbps": 5}}`,
+			frag: "no description"},
+		{name: "invalid", body: `{"name": "invalid", "description": "d",
+			"probing": {"plan": "warp", "packets": 10, "rate_mbps": 5}}`,
+			frag: "plan"},
+		{name: "garbage", body: `{"name": `, frag: "garbage"},
+		{name: "clean", body: `{"name": "clean", "description": "d",
+			"probing": {"plan": "train", "packets": 10, "rate_mbps": 5}}`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			path := filepath.Join(dir, tt.name+".json")
+			if err := os.WriteFile(path, []byte(tt.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			findings := lintFile(path)
+			if tt.frag == "" {
+				if len(findings) != 0 {
+					t.Errorf("clean spec produced findings: %v", findings)
+				}
+				return
+			}
+			if len(findings) == 0 {
+				t.Fatal("bad spec produced no findings")
+			}
+			if !strings.Contains(findings[0], tt.frag) {
+				t.Errorf("finding %q lacks %q", findings[0], tt.frag)
+			}
+		})
+	}
+}
