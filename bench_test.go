@@ -23,11 +23,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"csmabw/internal/campaign"
 	"csmabw/internal/experiments"
 	"csmabw/internal/mac"
 	"csmabw/internal/phy"
@@ -623,4 +625,43 @@ func BenchmarkAbestBudget(b *testing.B) {
 		b.ReportMetric(eps.Y[0], "slops_epseff_starved_pct")
 		b.ReportMetric(eps.Y[n-1], "slops_epseff_rich_pct")
 	}
+}
+
+// BenchmarkCampaignOrchestrator measures the campaign fleet scheduler
+// end to end on the checked-in smoke campaign: each iteration compiles
+// nothing (the plan is reused) but pays the full orchestration bill —
+// ground-truth precompute, substream-seeded jobs on the worker pool,
+// per-completion JSONL checkpoint appends, and the final compaction
+// into canonical bytes. The telemetry entry's replications_per_sec is
+// jobs/sec (Reps is the job count), which is the orchestrator
+// throughput scripts/benchguard gates alongside the figure benchmarks.
+func BenchmarkCampaignOrchestrator(b *testing.B) {
+	plan, err := campaign.CompileFile("scenarios/campaigns/smoke.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	sc := experiments.Scale{Reps: len(plan.Jobs)}
+	var last runner.MeterStats
+	m0 := mallocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		var meter runner.Meter
+		res, err := campaign.Run(plan, campaign.RunConfig{
+			LogPath: filepath.Join(dir, fmt.Sprintf("results-%d.jsonl", i)),
+			Meter:   &meter,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ran != len(plan.Jobs) {
+			b.Fatalf("ran %d of %d jobs", res.Ran, len(plan.Jobs))
+		}
+		last = res.Stats
+	}
+	elapsed := time.Since(start)
+	recordBench("campaign-orchestrator", elapsed, b.N, sc, mallocs()-m0)
+	b.ReportMetric(last.UnitsPerSec, "jobs_per_sec")
+	b.ReportMetric(last.P99Seconds*1e3, "job_p99_ms")
+	b.ReportMetric(last.Utilization*100, "worker_util_pct")
 }

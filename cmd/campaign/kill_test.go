@@ -1,0 +1,187 @@
+package main
+
+// The kill-and-restart integration test — the orchestrator's core
+// promise made executable: SIGKILL a campaign subprocess at randomized
+// points mid-fleet, resume it as often as it takes, and the final
+// results log and fleet report must be byte-identical to an
+// uninterrupted run's, at any worker count. The subprocesses are real
+// processes (TestMain re-execs this binary as the tool), so the kill
+// hits whatever the orchestrator was genuinely doing: mid-job,
+// mid-append, or mid-compaction.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// countLines counts the complete (newline-terminated) records in the
+// log; a missing file is zero.
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	return bytes.Count(data, []byte("\n"))
+}
+
+// waitForLines polls the log until it holds at least target complete
+// records (returns finished=false: time to kill) or the subprocess
+// exits first (returns its error and finished=true).
+func waitForLines(t *testing.T, path string, target int, done chan error) (error, bool) {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			return err, true
+		case <-deadline:
+			t.Fatalf("fleet made no progress toward %d log records", target)
+		case <-time.After(time.Millisecond):
+		}
+		if countLines(t, path) >= target {
+			return nil, false
+		}
+	}
+}
+
+// toolCmd builds a subprocess invocation of the campaign tool.
+func toolCmd(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "CAMPAIGN_BE_TOOL=1")
+	return cmd
+}
+
+// runTool runs the tool to completion and returns its stdout (the
+// fleet report).
+func runTool(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := toolCmd(t, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("campaign %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// baseline runs the uninterrupted campaign at the given worker count
+// and returns (log bytes, report bytes).
+func baseline(t *testing.T, workers string) ([]byte, []byte) {
+	t.Helper()
+	logPath := filepath.Join(t.TempDir(), "results.jsonl")
+	report := runTool(t, "-campaign", "testdata/kill.json", "-out", logPath, "-workers", workers)
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(logData)) == 0 {
+		t.Fatal("baseline run produced an empty log")
+	}
+	return logData, report
+}
+
+func TestKillAndRestartConvergesToUninterruptedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill/restart loop is not short")
+	}
+	wantLog, wantReport := baseline(t, "1")
+
+	// Worker-count invariance of the uninterrupted run first: the resume
+	// assertions below lean on it.
+	log8, report8 := baseline(t, "8")
+	if !bytes.Equal(log8, wantLog) {
+		t.Fatalf("workers=8 log differs from workers=1:\n%s\nvs\n%s", log8, wantLog)
+	}
+	if !bytes.Equal(report8, wantReport) {
+		t.Fatal("workers=8 report differs from workers=1")
+	}
+
+	// Kill at randomized points, resume until done, for several tries.
+	// The kill triggers on checkpoint *progress* — the log reaching a
+	// randomized record count — not wall time, so it lands mid-fleet on
+	// any machine speed. The sampling is seeded so a failure reproduces.
+	totalJobs := bytes.Count(wantLog, []byte("\n"))
+	rng := rand.New(rand.NewSource(20090819))
+	for try := 0; try < 3; try++ {
+		logPath := filepath.Join(t.TempDir(), "results.jsonl")
+		args := []string{"-campaign", "testdata/kill.json", "-out", logPath, "-workers", "3"}
+
+		killed := 0
+		var report []byte
+		for attempt := 0; ; attempt++ {
+			if attempt > 30 {
+				t.Fatalf("try %d: campaign did not complete within 30 resume attempts", try)
+			}
+			attemptArgs := args
+			if attempt > 0 {
+				attemptArgs = append(append([]string{}, args...), "-resume")
+			}
+			// After two kills, let an attempt run to completion so the loop
+			// always terminates.
+			if killed >= 2 {
+				report = runTool(t, attemptArgs...)
+				break
+			}
+			// Kill once the log gains a randomized number of fresh records;
+			// no room left below the final record means the fleet is nearly
+			// done — finish it instead.
+			have := countLines(t, logPath)
+			if room := totalJobs - have - 1; room < 1 {
+				report = runTool(t, attemptArgs...)
+				break
+			} else {
+				target := have + 1 + rng.Intn(room)
+				cmd := toolCmd(t, attemptArgs...)
+				var stdout bytes.Buffer
+				cmd.Stdout = &stdout
+				if err := cmd.Start(); err != nil {
+					t.Fatal(err)
+				}
+				done := make(chan error, 1)
+				go func() { done <- cmd.Wait() }()
+				procErr, finished := waitForLines(t, logPath, target, done)
+				if finished {
+					// The fleet completed before the log hit the kill target.
+					if procErr != nil {
+						t.Fatalf("try %d attempt %d: %v", try, attempt, procErr)
+					}
+					report = stdout.Bytes()
+					break
+				}
+				if err := cmd.Process.Kill(); err != nil {
+					t.Fatal(err)
+				}
+				<-done
+				killed++
+			}
+		}
+
+		t.Logf("try %d: %d kills before completion", try, killed)
+		gotLog, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotLog, wantLog) {
+			t.Errorf("try %d (%d kills): final log differs from uninterrupted run:\n%s\nvs\n%s",
+				try, killed, gotLog, wantLog)
+		}
+		if !bytes.Equal(report, wantReport) {
+			t.Errorf("try %d (%d kills): final report differs from uninterrupted run:\n%s\nvs\n%s",
+				try, killed, report, wantReport)
+		}
+	}
+}

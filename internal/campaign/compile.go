@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"csmabw/internal/estimate"
+	"csmabw/internal/scenario"
+)
+
+// PlannedJob is one job resolved against its compiled scenario.
+type PlannedJob struct {
+	// Index is the job's position in the campaign's expanded job list —
+	// the substream index its randomness derives from. It is global and
+	// stable: resuming a partial run never renumbers jobs.
+	Index int
+	// Spec is the job as declared.
+	Spec JobSpec
+	// ScenarioPath is the resolved scenario file path.
+	ScenarioPath string
+	// Scenario is the compiled cell the job probes.
+	Scenario *scenario.Compiled
+}
+
+// Plan is a compiled campaign: every job bound to its compiled
+// scenario, ready to run.
+type Plan struct {
+	// Spec is the parsed campaign.
+	Spec *Spec
+	// Jobs lists the planned jobs in campaign order.
+	Jobs []PlannedJob
+	// ScenarioPaths lists the distinct resolved scenario paths, sorted —
+	// the ground-truth memoization domain.
+	ScenarioPaths []string
+}
+
+// Compile resolves and compiles every scenario the campaign references,
+// relative to baseDir (the campaign file's directory). Each distinct
+// scenario file is loaded and compiled once and shared across its jobs.
+func (s *Spec) Compile(baseDir string) (*Plan, error) {
+	p := &Plan{Spec: s}
+	compiled := map[string]*scenario.Compiled{}
+	for i, j := range s.Jobs {
+		path := j.Scenario
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		sc, ok := compiled[path]
+		if !ok {
+			var err error
+			sc, err = scenario.CompileFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: job %q: %w", j.ID, err)
+			}
+			compiled[path] = sc
+			p.ScenarioPaths = append(p.ScenarioPaths, path)
+		}
+		// Validate the job config now, against the compiled link, so a bad
+		// knob fails the campaign at plan time rather than mid-fleet.
+		if _, err := estimate.ParseKind(string(j.Estimator)); err != nil {
+			return nil, fmt.Errorf("campaign: job %q: %w", j.ID, err)
+		}
+		p.Jobs = append(p.Jobs, PlannedJob{
+			Index:        i,
+			Spec:         j,
+			ScenarioPath: path,
+			Scenario:     sc,
+		})
+	}
+	sort.Strings(p.ScenarioPaths)
+	return p, nil
+}
+
+// CompileFile loads, parses and compiles a campaign file in one step;
+// scenario references resolve relative to the campaign file's
+// directory.
+func CompileFile(path string) (*Plan, error) {
+	s, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Compile(filepath.Dir(path))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

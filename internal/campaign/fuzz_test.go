@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCampaignSpec drives the strict campaign parser with arbitrary
+// byte soup. The invariants: Parse never panics, every error carries
+// the "campaign" prefix, and a campaign that parses is internally
+// consistent — a name, at least one job, unique job IDs, valid
+// estimator kinds, in-range targets and finite non-negative budgets.
+func FuzzCampaignSpec(f *testing.F) {
+	seeds := []string{
+		// A valid sweep campaign.
+		`{"name": "c", "seed": 3, "sweeps": [
+		   {"scenarios": ["a.json", "b.json"], "estimators": ["topp", "slops", "adaptive"],
+		    "target_rels": [0.2, 0.1, 0.05],
+		    "budget": {"max_probe_seconds": 30, "max_packets": 100000}}]}`,
+		// A valid explicit-jobs campaign.
+		`{"name": "c", "jobs": [
+		   {"id": "a/topp", "scenario": "a.json", "estimator": "topp", "target_rel": 0.1,
+		    "train_len": 20, "reps": 3, "max_reps": 64}]}`,
+		// Duplicate job IDs.
+		`{"name": "c", "jobs": [
+		   {"id": "x", "scenario": "a.json", "estimator": "topp"},
+		   {"id": "x", "scenario": "b.json", "estimator": "slops"}]}`,
+		// Unknown keys.
+		`{"name": "c", "bogus": 1, "jobs": [{"id": "x", "scenario": "a.json", "estimator": "topp"}]}`,
+		`{"name": "c", "jobs": [{"id": "x", "scenario": "a.json", "estimator": "topp", "budgett": {}}]}`,
+		// Non-finite budgets (1e999 overflows to +Inf).
+		`{"name": "c", "jobs": [{"id": "x", "scenario": "a.json", "estimator": "topp",
+		   "budget": {"max_probe_seconds": 1e999}}]}`,
+		`{"name": "c", "sweeps": [{"scenarios": ["a.json"], "estimators": ["topp"],
+		   "target_rels": [1e999]}]}`,
+		// Shapes that must be rejected, not crash.
+		`{}`, `[]`, `null`, `not json`,
+		`{"name": "c", "jobs": [{"id": "x", "scenario": "a.json", "estimator": "pathload"}]}`,
+		`{"name": "c", "jobs": 3}`,
+		`{"name": "c", "sweeps": [{"scenarios": [1], "estimators": ["topp"]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if !strings.Contains(err.Error(), "campaign") {
+				t.Fatalf("parse error without package prefix: %q", err)
+			}
+			return
+		}
+		if s.Name == "" {
+			t.Fatal("parsed campaign without a name")
+		}
+		if len(s.Jobs) == 0 {
+			t.Fatal("parsed campaign without jobs")
+		}
+		ids := map[string]bool{}
+		for _, j := range s.Jobs {
+			if j.ID == "" || j.Scenario == "" {
+				t.Fatalf("parsed job with empty id or scenario: %+v", j)
+			}
+			if ids[j.ID] {
+				t.Fatalf("parsed campaign with duplicate job id %q", j.ID)
+			}
+			ids[j.ID] = true
+			if string(j.Estimator) == "" {
+				t.Fatalf("parsed job without estimator kind: %+v", j)
+			}
+			if j.TargetRel < 0 || j.TargetRel >= 1 {
+				t.Fatalf("parsed job with out-of-range target %g", j.TargetRel)
+			}
+			if j.Budget.MaxProbeSeconds < 0 || j.Budget.MaxPackets < 0 {
+				t.Fatalf("parsed job with negative budget: %+v", j.Budget)
+			}
+			if j.TrainLen < 0 || j.Reps < 0 || j.MaxReps < 0 {
+				t.Fatalf("parsed job with negative effort knobs: %+v", j)
+			}
+		}
+	})
+}

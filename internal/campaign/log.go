@@ -1,0 +1,160 @@
+package campaign
+
+// The results log: one JSON line per completed job, append-only during
+// a run, compacted (sorted by job index, atomically renamed) when the
+// fleet completes. The log is both the campaign's output and its
+// checkpoint — resume replays it and runs only the missing jobs. Every
+// field is deterministic (simulated probe-seconds, never host wall
+// time), which is what makes the *final* log byte-identical across
+// worker counts and kill/resume histories.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The status values a log record can carry.
+const (
+	// StatusOK: the estimator returned a usable estimate.
+	StatusOK = "ok"
+	// StatusTargetMiss: the adaptive controller ran out of replications
+	// before its confidence target; the estimate is still usable, just
+	// wider than asked.
+	StatusTargetMiss = "target_not_reached"
+	// StatusFailed: the estimator produced no usable value; the record
+	// keeps the partial cost ledger and the error text.
+	StatusFailed = "failed"
+)
+
+// Record is one completed job's log line. All fields are deterministic
+// functions of (campaign seed, job index, scenario spec); host
+// wall-clock telemetry deliberately lives outside the log (see
+// runner.Meter) so the log stays byte-identical across schedules.
+type Record struct {
+	// Job is the job ID the record belongs to.
+	Job string `json:"job"`
+	// Index is the job's campaign-global index.
+	Index int `json:"index"`
+	// Scenario is the scenario name (not path — paths differ across
+	// checkouts, names are the spec's identity).
+	Scenario string `json:"scenario"`
+	// Estimator is the estimator kind the job ran.
+	Estimator string `json:"estimator"`
+	// TargetRel is the job's relative CI target (0 = kind default).
+	TargetRel float64 `json:"target_rel"`
+	// Status is ok, target_not_reached or failed.
+	Status string `json:"status"`
+	// ValueBps is the estimate in bit/s (0 when failed).
+	ValueBps float64 `json:"value_bps"`
+	// CIBps is the effective 95% confidence half-width in bit/s.
+	CIBps float64 `json:"ci_bps"`
+	// TruthBps is the scenario's measured ground truth in bit/s.
+	TruthBps float64 `json:"truth_bps"`
+	// RelErr is (ValueBps−TruthBps)/TruthBps, 0 when unavailable.
+	RelErr float64 `json:"rel_err"`
+	// Trains, Packets and ProbeSeconds are the job's cost ledger —
+	// partial but non-zero for failed jobs, which is the point of
+	// recording them.
+	Trains       int     `json:"trains"`
+	Packets      int     `json:"packets"`
+	ProbeSeconds float64 `json:"probe_seconds"`
+	// Rounds is the estimator's closed-loop round count.
+	Rounds int `json:"rounds"`
+	// Truncated names the budget cap that cut the job short ("" none).
+	Truncated string `json:"truncated"`
+	// Error is the failure text (failed and target_not_reached only).
+	Error string `json:"error,omitempty"`
+}
+
+// finite scrubs a non-finite value to 0: failed estimates carry NaN,
+// and json.Marshal refuses NaN/Inf outright.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// marshalRecord renders one log line (record JSON plus newline).
+func marshalRecord(r Record) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding record %q: %w", r.Job, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ReadLog replays a results log. A partial final line — the footprint
+// of a kill mid-append — is tolerated and dropped (its job simply
+// reruns); a malformed line anywhere else is corruption and an error.
+// Duplicate records for a job keep the first occurrence: job results
+// are deterministic, so duplicates are identical by construction.
+func ReadLog(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	var out []Record
+	seen := map[string]bool{}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Job == "" {
+			if i == len(lines)-1 {
+				// No trailing newline made it to disk: the writer died
+				// mid-line. The job reruns deterministically on resume.
+				break
+			}
+			return nil, fmt.Errorf("campaign: %s:%d: corrupt log line: %q", path, i+1, line)
+		}
+		if seen[r.Job] {
+			continue
+		}
+		seen[r.Job] = true
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteCompact rewrites the log as the canonical final artifact: every
+// record sorted by job index, written to a temp file and atomically
+// renamed over path. Compaction is idempotent and what makes the final
+// log byte-for-byte identical no matter the completion order or how
+// many resumes it took to get there.
+func WriteCompact(path string, recs []Record) error {
+	sorted := append([]Record(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	var buf bytes.Buffer
+	for _, r := range sorted {
+		b, err := marshalRecord(r)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".campaign-log-*")
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}

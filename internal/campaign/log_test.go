@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(job string, index int) Record {
+	return Record{Job: job, Index: index, Scenario: "s", Estimator: "topp",
+		Status: StatusOK, ValueBps: 1e6, TruthBps: 1e6}
+}
+
+func writeLog(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func line(t *testing.T, r Record) string {
+	t.Helper()
+	b, err := marshalRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestReadLogToleratesPartialTrailingLine(t *testing.T) {
+	full := line(t, rec("a", 0)) + line(t, rec("b", 1))
+	// A kill mid-append truncates the last line at an arbitrary byte.
+	partial := line(t, rec("c", 2))
+	path := writeLog(t, full, partial[:len(partial)/2])
+	recs, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Job != "a" || recs[1].Job != "b" {
+		t.Fatalf("recs = %+v, want a and b", recs)
+	}
+}
+
+func TestReadLogRejectsCorruptMiddleLine(t *testing.T) {
+	path := writeLog(t, line(t, rec("a", 0)), "{corrupt\n", line(t, rec("b", 1)))
+	_, err := ReadLog(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt log line") {
+		t.Fatalf("err = %v, want corrupt-line error", err)
+	}
+}
+
+func TestReadLogDedupesByJob(t *testing.T) {
+	a := rec("a", 0)
+	path := writeLog(t, line(t, a), line(t, a), line(t, rec("b", 1)))
+	recs, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recs = %+v, want dedup to 2", recs)
+	}
+}
+
+func TestWriteCompactSortsAndIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	recs := []Record{rec("c", 2), rec("a", 0), rec("b", 1)}
+	if err := WriteCompact(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := line(t, rec("a", 0)) + line(t, rec("b", 1)) + line(t, rec("c", 2))
+	if string(first) != want {
+		t.Fatalf("compacted log:\n%s\nwant:\n%s", first, want)
+	}
+	// Compacting the replayed log reproduces the same bytes.
+	replayed, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompact(path, replayed); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != string(first) {
+		t.Fatal("compaction is not idempotent")
+	}
+}

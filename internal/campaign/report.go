@@ -1,0 +1,129 @@
+package campaign
+
+// The fleet report: per-(scenario, estimator) aggregates over the
+// results log. Summarize is a pure function of the records, so a
+// report rendered from a resumed campaign's log is provably identical
+// to one from an uninterrupted run — the byte-identity the kill/restart
+// test pins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ReportRow is one (scenario, estimator) aggregate of the fleet report.
+type ReportRow struct {
+	// Scenario and Estimator identify the aggregate.
+	Scenario  string `json:"scenario"`
+	Estimator string `json:"estimator"`
+	// Jobs counts the group's jobs; OK, TargetMiss and Failed partition
+	// them by status.
+	Jobs       int `json:"jobs"`
+	OK         int `json:"ok"`
+	TargetMiss int `json:"target_miss"`
+	Failed     int `json:"failed"`
+	// MeanAbsRelErr is the mean |relative error| versus ground truth
+	// over the jobs that produced an estimate.
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	// MeanProbeSeconds and MeanPackets are the mean per-job probing cost
+	// over every job, failed ones included — their partial cost is real.
+	MeanProbeSeconds float64 `json:"mean_probe_seconds"`
+	MeanPackets      float64 `json:"mean_packets"`
+	// TruncRate is the fraction of jobs a budget cap cut short.
+	TruncRate float64 `json:"trunc_rate"`
+}
+
+// Summarize aggregates a results log into report rows, sorted by
+// scenario then estimator.
+func Summarize(recs []Record) []ReportRow {
+	type acc struct {
+		row        ReportRow
+		absErrSum  float64
+		absErrJobs int
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, r := range recs {
+		key := r.Scenario + "\x00" + r.Estimator
+		g, ok := groups[key]
+		if !ok {
+			g = &acc{row: ReportRow{Scenario: r.Scenario, Estimator: r.Estimator}}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.row.Jobs++
+		switch r.Status {
+		case StatusOK:
+			g.row.OK++
+		case StatusTargetMiss:
+			g.row.TargetMiss++
+		default:
+			g.row.Failed++
+		}
+		if r.Status != StatusFailed && r.TruthBps > 0 {
+			g.absErrSum += math.Abs(r.RelErr)
+			g.absErrJobs++
+		}
+		g.row.MeanProbeSeconds += r.ProbeSeconds
+		g.row.MeanPackets += float64(r.Packets)
+		if r.Truncated != "" {
+			g.row.TruncRate++
+		}
+	}
+	rows := make([]ReportRow, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		n := float64(g.row.Jobs)
+		g.row.MeanProbeSeconds /= n
+		g.row.MeanPackets /= n
+		g.row.TruncRate /= n
+		if g.absErrJobs > 0 {
+			g.row.MeanAbsRelErr = g.absErrSum / float64(g.absErrJobs)
+		}
+		rows = append(rows, g.row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Scenario != rows[j].Scenario {
+			return rows[i].Scenario < rows[j].Scenario
+		}
+		return rows[i].Estimator < rows[j].Estimator
+	})
+	return rows
+}
+
+// RenderReport renders report rows in the named format (table, csv or
+// json), deterministically: same rows, same bytes.
+func RenderReport(rows []ReportRow, format string) (string, error) {
+	switch format {
+	case "table":
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-28s %-10s %4s %4s %6s %6s %10s %12s %10s %8s\n",
+			"scenario", "estimator", "jobs", "ok", "miss", "fail",
+			"abs_err", "probe_s", "packets", "trunc")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-28s %-10s %4d %4d %6d %6d %10.4f %12.3f %10.0f %8.2f\n",
+				r.Scenario, r.Estimator, r.Jobs, r.OK, r.TargetMiss, r.Failed,
+				r.MeanAbsRelErr, r.MeanProbeSeconds, r.MeanPackets, r.TruncRate)
+		}
+		return b.String(), nil
+	case "csv":
+		var b strings.Builder
+		b.WriteString("scenario,estimator,jobs,ok,target_miss,failed,mean_abs_rel_err,mean_probe_seconds,mean_packets,trunc_rate\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%g,%g,%g,%g\n",
+				r.Scenario, r.Estimator, r.Jobs, r.OK, r.TargetMiss, r.Failed,
+				r.MeanAbsRelErr, r.MeanProbeSeconds, r.MeanPackets, r.TruncRate)
+		}
+		return b.String(), nil
+	case "json":
+		out, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("campaign: %w", err)
+		}
+		return string(out) + "\n", nil
+	}
+	return "", fmt.Errorf("campaign: unknown report format %q (table|csv|json)", format)
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Job: "b1", Scenario: "beta", Estimator: "topp", Status: StatusOK,
+			ValueBps: 1.1e6, TruthBps: 1e6, RelErr: 0.1, Packets: 100, ProbeSeconds: 2},
+		{Job: "a1", Scenario: "alpha", Estimator: "topp", Status: StatusOK,
+			ValueBps: 0.9e6, TruthBps: 1e6, RelErr: -0.1, Packets: 200, ProbeSeconds: 4, Truncated: "time"},
+		{Job: "a2", Scenario: "alpha", Estimator: "topp", Status: StatusFailed,
+			TruthBps: 1e6, Packets: 50, ProbeSeconds: 1, Error: "no usable probing round"},
+		{Job: "a3", Scenario: "alpha", Estimator: "adaptive", Status: StatusTargetMiss,
+			ValueBps: 1.2e6, TruthBps: 1e6, RelErr: 0.2, Packets: 300, ProbeSeconds: 6},
+	}
+	rows := Summarize(recs)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v, want 3 groups", rows)
+	}
+	// Sorted by scenario then estimator.
+	if rows[0].Scenario != "alpha" || rows[0].Estimator != "adaptive" ||
+		rows[1].Scenario != "alpha" || rows[1].Estimator != "topp" ||
+		rows[2].Scenario != "beta" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	at := rows[1] // alpha/topp: one ok (err 0.1, truncated), one failed
+	if at.Jobs != 2 || at.OK != 1 || at.Failed != 1 {
+		t.Errorf("alpha/topp counts = %+v", at)
+	}
+	if at.MeanAbsRelErr != 0.1 {
+		t.Errorf("alpha/topp MeanAbsRelErr = %g, want 0.1 (failed jobs excluded)", at.MeanAbsRelErr)
+	}
+	if at.MeanPackets != 125 || at.MeanProbeSeconds != 2.5 {
+		t.Errorf("alpha/topp cost means = %+v (failed jobs included)", at)
+	}
+	if at.TruncRate != 0.5 {
+		t.Errorf("alpha/topp TruncRate = %g, want 0.5", at.TruncRate)
+	}
+	am := rows[0] // alpha/adaptive: one target miss, still scored
+	if am.TargetMiss != 1 || am.MeanAbsRelErr != 0.2 {
+		t.Errorf("alpha/adaptive = %+v", am)
+	}
+}
+
+func TestRenderReportFormats(t *testing.T) {
+	rows := Summarize([]Record{
+		{Job: "a", Scenario: "s", Estimator: "topp", Status: StatusOK,
+			ValueBps: 1e6, TruthBps: 1e6, Packets: 10, ProbeSeconds: 1},
+	})
+	for _, format := range []string{"table", "csv", "json"} {
+		out, err := RenderReport(rows, format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out, "topp") || !strings.Contains(out, "scenario") {
+			t.Errorf("%s output missing content:\n%s", format, out)
+		}
+		// Deterministic rendering: same rows, same bytes.
+		again, _ := RenderReport(rows, format)
+		if out != again {
+			t.Errorf("%s rendering not deterministic", format)
+		}
+	}
+	if _, err := RenderReport(rows, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package runner
+
+// Meter instruments a worker pool from the outside: callers time each
+// unit of work and Observe the duration, and Stats condenses the
+// observations into the orchestrator-health quantities — throughput,
+// latency quantiles, worker utilization — a fleet scheduler reports.
+// The meter deliberately lives beside Map/MapBatches rather than inside
+// them: the pool's own contract is determinism, and wall-clock
+// telemetry is an observer, never an input.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Meter accumulates per-unit service times from concurrent workers.
+// The zero value is ready to use; Observe is safe from any goroutine.
+type Meter struct {
+	mu   sync.Mutex
+	durs []time.Duration
+	busy time.Duration
+}
+
+// Observe records one unit's service time (the wall-clock span from
+// claim to completion on its worker).
+func (m *Meter) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.mu.Lock()
+	m.durs = append(m.durs, d)
+	m.busy += d
+	m.mu.Unlock()
+}
+
+// Units returns how many observations the meter holds.
+func (m *Meter) Units() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.durs)
+}
+
+// MeterStats is a Meter snapshot condensed over a run's wall-clock
+// span: the scheduler-health numbers of a worker fleet.
+type MeterStats struct {
+	// Units is the number of completed units observed.
+	Units int
+	// WallSeconds is the caller-provided span of the whole run.
+	WallSeconds float64
+	// UnitsPerSec is Units over the span — fleet throughput.
+	UnitsPerSec float64
+	// P50Seconds and P99Seconds are the 50th- and 99th-percentile
+	// per-unit service times (nearest-rank over the observations).
+	P50Seconds, P99Seconds float64
+	// Utilization is the busy fraction of the fleet: cumulative unit
+	// service time over workers times the span, in [0, ~1]. Values
+	// near zero mean workers starved; near one, a saturated pool.
+	Utilization float64
+}
+
+// Stats snapshots the meter over a run that spanned wall time on
+// `workers` workers. Quantiles use the nearest-rank method on a sorted
+// copy; the meter itself is untouched and may keep observing.
+func (m *Meter) Stats(wall time.Duration, workers int) MeterStats {
+	m.mu.Lock()
+	durs := append([]time.Duration(nil), m.durs...)
+	busy := m.busy
+	m.mu.Unlock()
+
+	s := MeterStats{Units: len(durs), WallSeconds: wall.Seconds()}
+	if len(durs) == 0 {
+		return s
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	s.P50Seconds = quantile(durs, 0.50).Seconds()
+	s.P99Seconds = quantile(durs, 0.99).Seconds()
+	if s.WallSeconds > 0 {
+		s.UnitsPerSec = float64(s.Units) / s.WallSeconds
+		if workers > 0 {
+			s.Utilization = busy.Seconds() / (s.WallSeconds * float64(workers))
+		}
+	}
+	return s
+}
+
+// quantile is the nearest-rank quantile of a sorted duration slice:
+// the smallest observation with at least q of the mass at or below it.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	rank := int(q*float64(n) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterStats(t *testing.T) {
+	m := &Meter{}
+	// 100 observations: 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		m.Observe(time.Duration(i) * time.Millisecond)
+	}
+	st := m.Stats(2*time.Second, 4)
+	if st.Units != 100 {
+		t.Fatalf("Units = %d, want 100", st.Units)
+	}
+	if st.UnitsPerSec != 50 {
+		t.Errorf("UnitsPerSec = %g, want 50", st.UnitsPerSec)
+	}
+	// Nearest rank: p50 is the 50th smallest = 50ms, p99 the 99th = 99ms.
+	if st.P50Seconds != 0.050 {
+		t.Errorf("P50 = %g s, want 0.050", st.P50Seconds)
+	}
+	if st.P99Seconds != 0.099 {
+		t.Errorf("P99 = %g s, want 0.099", st.P99Seconds)
+	}
+	// Busy time is 1+2+…+100 = 5050ms over 4 workers × 2s = 8s of capacity.
+	want := 5.050 / 8.0
+	if diff := st.Utilization - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Utilization = %g, want %g", st.Utilization, want)
+	}
+}
+
+func TestMeterEmptyAndZeroSpan(t *testing.T) {
+	m := &Meter{}
+	st := m.Stats(time.Second, 8)
+	if st.Units != 0 || st.UnitsPerSec != 0 || st.P50Seconds != 0 || st.Utilization != 0 {
+		t.Errorf("empty meter stats not zero: %+v", st)
+	}
+	m.Observe(time.Millisecond)
+	st = m.Stats(0, 8)
+	if st.Units != 1 || st.UnitsPerSec != 0 || st.Utilization != 0 {
+		t.Errorf("zero-span stats: %+v", st)
+	}
+	if st.P50Seconds != 0.001 {
+		t.Errorf("zero-span P50 = %g, want 0.001", st.P50Seconds)
+	}
+}
+
+func TestMeterSingleObservationQuantiles(t *testing.T) {
+	m := &Meter{}
+	m.Observe(7 * time.Millisecond)
+	st := m.Stats(time.Second, 1)
+	if st.P50Seconds != 0.007 || st.P99Seconds != 0.007 {
+		t.Errorf("single-observation quantiles = %g/%g, want 0.007 both", st.P50Seconds, st.P99Seconds)
+	}
+}
+
+// TestMeterConcurrentObserve exercises Observe from many goroutines —
+// the shape the campaign orchestrator uses it in — under the race
+// detector.
+func TestMeterConcurrentObserve(t *testing.T) {
+	m := &Meter{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Units(); got != 800 {
+		t.Fatalf("Units = %d, want 800", got)
+	}
+}

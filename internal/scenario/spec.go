@@ -18,13 +18,8 @@
 package scenario
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"math"
 	"os"
-	"sort"
-	"strings"
 )
 
 // Spec is the parsed (but not yet compiled) scenario description,
@@ -164,357 +159,108 @@ type EstimatorSpec struct {
 	MaxPackets int
 }
 
-// obj walks one JSON object with positional error reporting and strict
-// unknown-key rejection. Accessors record the first error in a shared
-// slot and return zero values afterwards, so parsing code reads
-// straight through without per-field error plumbing.
-type obj struct {
-	path string
-	m    map[string]any
-	seen map[string]bool
-	err  *error
-}
-
-// fail records err (with the object's path prefixed) unless an earlier
-// error already claimed the slot.
-func (o *obj) fail(key, format string, a ...any) {
-	if *o.err != nil {
-		return
-	}
-	at := o.path
-	if at != "" && key != "" {
-		at += "."
-	}
-	at += key
-	*o.err = fmt.Errorf("scenario: %s: %s", at, fmt.Sprintf(format, a...))
-}
-
-// get marks key as consumed and returns its raw value.
-func (o *obj) get(key string) (any, bool) {
-	o.seen[key] = true
-	v, ok := o.m[key]
-	return v, ok
-}
-
-// str reads an optional string field.
-func (o *obj) str(key string) string {
-	v, ok := o.get(key)
-	if !ok || *o.err != nil {
-		return ""
-	}
-	s, ok := v.(string)
-	if !ok {
-		o.fail(key, "want a string, got %s", typeName(v))
-		return ""
-	}
-	return s
-}
-
-// num reads an optional finite number field.
-func (o *obj) num(key string) float64 {
-	v, ok := o.get(key)
-	if !ok || *o.err != nil {
-		return 0
-	}
-	n, ok := v.(json.Number)
-	if !ok {
-		o.fail(key, "want a number, got %s", typeName(v))
-		return 0
-	}
-	f, err := n.Float64()
-	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
-		// json.Number.Float64 overflows to ±Inf for literals like 1e999;
-		// non-finite knobs poison every downstream comparison, so the
-		// parser is where they die.
-		o.fail(key, "non-finite number %q", n.String())
-		return 0
-	}
-	return f
-}
-
-// integer reads an optional integral number field.
-func (o *obj) integer(key string) int {
-	f := o.num(key)
-	if *o.err != nil {
-		return 0
-	}
-	if f != math.Trunc(f) || math.Abs(f) > 1<<53 {
-		o.fail(key, "want an integer, got %g", f)
-		return 0
-	}
-	return int(f)
-}
-
-// child reads an optional object field; nil when absent.
-func (o *obj) child(key string) *obj {
-	v, ok := o.get(key)
-	if !ok || *o.err != nil {
-		return nil
-	}
-	m, ok := v.(map[string]any)
-	if !ok {
-		o.fail(key, "want an object, got %s", typeName(v))
-		return nil
-	}
-	return &obj{path: o.joined(key), m: m, seen: map[string]bool{}, err: o.err}
-}
-
-// children reads an optional array-of-objects field.
-func (o *obj) children(key string) []*obj {
-	v, ok := o.get(key)
-	if !ok || *o.err != nil {
-		return nil
-	}
-	arr, ok := v.([]any)
-	if !ok {
-		o.fail(key, "want an array, got %s", typeName(v))
-		return nil
-	}
-	out := make([]*obj, 0, len(arr))
-	for i, e := range arr {
-		m, ok := e.(map[string]any)
-		if !ok {
-			o.fail(fmt.Sprintf("%s[%d]", key, i), "want an object, got %s", typeName(e))
-			return nil
-		}
-		out = append(out, &obj{
-			path: fmt.Sprintf("%s[%d]", o.joined(key), i),
-			m:    m, seen: map[string]bool{}, err: o.err,
-		})
-	}
-	return out
-}
-
-// strs reads an optional array-of-strings field.
-func (o *obj) strs(key string) []string {
-	v, ok := o.get(key)
-	if !ok || *o.err != nil {
-		return nil
-	}
-	arr, ok := v.([]any)
-	if !ok {
-		o.fail(key, "want an array, got %s", typeName(v))
-		return nil
-	}
-	out := make([]string, 0, len(arr))
-	for i, e := range arr {
-		s, ok := e.(string)
-		if !ok {
-			o.fail(fmt.Sprintf("%s[%d]", key, i), "want a string, got %s", typeName(e))
-			return nil
-		}
-		out = append(out, s)
-	}
-	return out
-}
-
-// pairs reads an optional array of [a,b] integer pairs.
-func (o *obj) pairs(key string) [][2]int {
-	v, ok := o.get(key)
-	if !ok || *o.err != nil {
-		return nil
-	}
-	arr, ok := v.([]any)
-	if !ok {
-		o.fail(key, "want an array, got %s", typeName(v))
-		return nil
-	}
-	out := make([][2]int, 0, len(arr))
-	for i, e := range arr {
-		at := fmt.Sprintf("%s[%d]", key, i)
-		pair, ok := e.([]any)
-		if !ok || len(pair) != 2 {
-			o.fail(at, "want a [a, b] station index pair")
-			return nil
-		}
-		var ab [2]int
-		for j, pe := range pair {
-			n, ok := pe.(json.Number)
-			f, ferr := 0.0, error(nil)
-			if ok {
-				f, ferr = n.Float64()
-			}
-			if !ok || ferr != nil || f != math.Trunc(f) {
-				o.fail(at, "want integer station indices")
-				return nil
-			}
-			ab[j] = int(f)
-		}
-		out = append(out, ab)
-	}
-	return out
-}
-
-// done rejects any key the walkers never consumed — the strictness
-// that turns a typo'd knob into a parse error instead of a silently
-// default-valued cell.
-func (o *obj) done() {
-	if *o.err != nil {
-		return
-	}
-	var unknown []string
-	for k := range o.m {
-		if !o.seen[k] {
-			unknown = append(unknown, k)
-		}
-	}
-	if len(unknown) == 0 {
-		return
-	}
-	sort.Strings(unknown)
-	o.fail(unknown[0], "unknown key (known keys: %s)", strings.Join(knownKeys(o.seen), ", "))
-}
-
-// joined appends key to the object's path.
-func (o *obj) joined(key string) string {
-	if o.path == "" {
-		return key
-	}
-	return o.path + "." + key
-}
-
-// knownKeys lists the keys the walker consumed, sorted, for the
-// unknown-key error message.
-func knownKeys(seen map[string]bool) []string {
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// typeName names a decoded JSON value for error messages.
-func typeName(v any) string {
-	switch v.(type) {
-	case nil:
-		return "null"
-	case bool:
-		return "a bool"
-	case string:
-		return "a string"
-	case json.Number:
-		return "a number"
-	case []any:
-		return "an array"
-	case map[string]any:
-		return "an object"
-	}
-	return fmt.Sprintf("%T", v)
-}
-
 // Parse decodes a scenario spec from JSON, strictly: unknown keys,
-// wrong types and non-finite numbers are positional errors. Parse only
-// checks structure; Compile performs the semantic validation (ranges,
-// topology bounds, plan consistency, TXOP conflicts).
+// wrong types and non-finite numbers are positional errors (the Obj
+// walker in walker.go). Parse only checks structure; Compile performs
+// the semantic validation (ranges, topology bounds, plan consistency,
+// TXOP conflicts).
 func Parse(data []byte) (*Spec, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.UseNumber()
-	var raw any
-	if err := dec.Decode(&raw); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+	root, err := Root(data, "scenario")
+	if err != nil {
+		return nil, err
 	}
-	if dec.More() {
-		return nil, fmt.Errorf("scenario: trailing data after the spec object")
-	}
-	rootMap, ok := raw.(map[string]any)
-	if !ok {
-		return nil, fmt.Errorf("scenario: spec must be a JSON object, got %s", typeName(raw))
-	}
-	var firstErr error
-	root := &obj{m: rootMap, seen: map[string]bool{}, err: &firstErr}
 
 	s := &Spec{
-		Name:              root.str("name"),
-		Description:       root.str("description"),
-		Phy:               root.str("phy"),
-		Seed:              int64(root.integer("seed")),
-		RTSThresholdBytes: root.integer("rts_threshold_bytes"),
-		Phases:            root.strs("phases"),
+		Name:              root.Str("name"),
+		Description:       root.Str("description"),
+		Phy:               root.Str("phy"),
+		Seed:              int64(root.Int("seed")),
+		RTSThresholdBytes: root.Int("rts_threshold_bytes"),
+		Phases:            root.Strs("phases"),
 	}
-	if p := root.child("probe"); p != nil {
+	if p := root.Child("probe"); p != nil {
 		s.Probe = ProbeSpec{
-			SizeBytes:     p.integer("size_bytes"),
-			AC:            p.str("ac"),
-			DataRateMbps:  p.num("data_rate_mbps"),
-			PowerDB:       p.num("power_db"),
-			WarmupSeconds: p.num("warmup_seconds"),
+			SizeBytes:     p.Int("size_bytes"),
+			AC:            p.Str("ac"),
+			DataRateMbps:  p.Num("data_rate_mbps"),
+			PowerDB:       p.Num("power_db"),
+			WarmupSeconds: p.Num("warmup_seconds"),
 		}
-		p.done()
+		p.Done()
 	}
-	for _, f := range root.children("fifo_cross") {
+	for _, f := range root.Children("fifo_cross") {
 		s.FIFOCross = append(s.FIFOCross, parseFlow(f))
 	}
-	for _, st := range root.children("stations") {
+	for _, st := range root.Children("stations") {
 		sp := StationSpec{
-			Name:         st.str("name"),
-			AC:           st.str("ac"),
-			DataRateMbps: st.num("data_rate_mbps"),
-			PowerDB:      st.num("power_db"),
+			Name:         st.Str("name"),
+			AC:           st.Str("ac"),
+			DataRateMbps: st.Num("data_rate_mbps"),
+			PowerDB:      st.Num("power_db"),
 		}
-		if tr := st.child("traffic"); tr != nil {
+		if tr := st.Child("traffic"); tr != nil {
 			sp.Traffic = parseFlow(tr)
 		} else {
-			st.fail("traffic", "station needs a traffic object")
+			st.Fail("traffic", "station needs a traffic object")
 		}
-		st.done()
+		st.Done()
 		s.Stations = append(s.Stations, sp)
 	}
-	if ch := root.child("channel"); ch != nil {
+	if ch := root.Child("channel"); ch != nil {
 		s.Channel = ChannelSpec{
-			FER:       ch.num("fer"),
-			BER:       ch.num("ber"),
-			CaptureDB: ch.num("capture_db"),
+			FER:       ch.Num("fer"),
+			BER:       ch.Num("ber"),
+			CaptureDB: ch.Num("capture_db"),
 		}
-		if topo := ch.child("topology"); topo != nil {
+		if topo := ch.Child("topology"); topo != nil {
 			s.Channel.Topology = &TopologySpec{
-				Kind:  topo.str("kind"),
-				Links: topo.pairs("links"),
+				Kind:  topo.Str("kind"),
+				Links: topo.Pairs("links"),
 			}
-			topo.done()
+			topo.Done()
 		}
-		ch.done()
+		ch.Done()
 	}
-	if pr := root.child("probing"); pr != nil {
+	if pr := root.Child("probing"); pr != nil {
 		s.Probing = ProbingSpec{
-			Plan:            pr.str("plan"),
-			Packets:         pr.integer("packets"),
-			RateMbps:        pr.num("rate_mbps"),
-			GapMs:           pr.num("gap_ms"),
-			Reps:            pr.integer("reps"),
-			DurationSeconds: pr.num("duration_seconds"),
+			Plan:            pr.Str("plan"),
+			Packets:         pr.Int("packets"),
+			RateMbps:        pr.Num("rate_mbps"),
+			GapMs:           pr.Num("gap_ms"),
+			Reps:            pr.Int("reps"),
+			DurationSeconds: pr.Num("duration_seconds"),
 		}
-		pr.done()
-	} else if firstErr == nil {
-		root.fail("probing", "spec needs a probing plan")
+		pr.Done()
+	} else if root.Err() == nil {
+		root.Fail("probing", "spec needs a probing plan")
 	}
-	if est := root.child("estimator"); est != nil {
+	if est := root.Child("estimator"); est != nil {
 		s.Estimator = &EstimatorSpec{
-			Kind:            est.str("kind"),
-			TargetRel:       est.num("target_rel"),
-			ResolutionMbps:  est.num("resolution_mbps"),
-			MaxProbeSeconds: est.num("max_probe_seconds"),
-			MaxPackets:      est.integer("max_packets"),
+			Kind:            est.Str("kind"),
+			TargetRel:       est.Num("target_rel"),
+			ResolutionMbps:  est.Num("resolution_mbps"),
+			MaxProbeSeconds: est.Num("max_probe_seconds"),
+			MaxPackets:      est.Int("max_packets"),
 		}
-		est.done()
+		est.Done()
 	}
-	root.done()
-	if firstErr != nil {
-		return nil, firstErr
+	root.Done()
+	if err := root.Err(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
 // parseFlow reads one traffic-flow object.
-func parseFlow(o *obj) FlowSpec {
+func parseFlow(o *Obj) FlowSpec {
 	f := FlowSpec{
-		Kind:       o.str("kind"),
-		RateMbps:   o.num("rate_mbps"),
-		SizeBytes:  o.integer("size_bytes"),
-		OnSeconds:  o.num("on_seconds"),
-		OffSeconds: o.num("off_seconds"),
+		Kind:       o.Str("kind"),
+		RateMbps:   o.Num("rate_mbps"),
+		SizeBytes:  o.Int("size_bytes"),
+		OnSeconds:  o.Num("on_seconds"),
+		OffSeconds: o.Num("off_seconds"),
 	}
-	o.done()
+	o.Done()
 	return f
 }
 

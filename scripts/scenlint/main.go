@@ -3,7 +3,11 @@
 // scenario package's full static validation, carry a description, and
 // have its spec name match the file's base name — so a spec is
 // addressable by the name it prints and the goldens it renders stay
-// traceable to one file. It runs in CI next to gofmt and go vet.
+// traceable to one file. A campaigns/ subdirectory gets the same
+// treatment through the campaign compiler: every campaign file must
+// parse (unique job IDs, valid kinds, finite budgets) and every
+// scenario spec it references must exist and compile. It runs in CI
+// next to gofmt and go vet.
 //
 //	go run ./scripts/scenlint ./scenarios
 //
@@ -19,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"csmabw/internal/campaign"
 	"csmabw/internal/scenario"
 )
 
@@ -61,7 +66,35 @@ func lintDir(dir string) ([]string, error) {
 	for _, path := range paths {
 		findings = append(findings, lintFile(path)...)
 	}
+	campaigns, err := filepath.Glob(filepath.Join(dir, "campaigns", "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(campaigns)
+	for _, path := range campaigns {
+		findings = append(findings, lintCampaign(path)...)
+	}
 	return findings, nil
+}
+
+// lintCampaign compiles one campaign file — which parses it strictly
+// (unique job IDs, valid estimator kinds, finite budgets) and compiles
+// every scenario spec it references — and checks the same housekeeping
+// invariants as scenario specs.
+func lintCampaign(path string) []string {
+	p, err := campaign.CompileFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var findings []string
+	stem := strings.TrimSuffix(filepath.Base(path), ".json")
+	if p.Spec.Name != stem {
+		findings = append(findings, fmt.Sprintf("%s: campaign name %q does not match file name %q", path, p.Spec.Name, stem))
+	}
+	if strings.TrimSpace(p.Spec.Description) == "" {
+		findings = append(findings, fmt.Sprintf("%s: campaign has no description", path))
+	}
+	return findings
 }
 
 // lintFile compiles one spec file and checks its housekeeping

@@ -19,6 +19,72 @@ func TestCheckedInScenariosAreClean(t *testing.T) {
 	}
 }
 
+// TestLintCampaignFindings exercises the campaigns/ subdirectory pass:
+// a campaign referencing a missing scenario, one with duplicate job
+// IDs, a name/file mismatch, and a clean one.
+func TestLintCampaignFindings(t *testing.T) {
+	dir := t.TempDir()
+	cell := `{"name": "cell", "description": "d",
+		"probing": {"plan": "train", "packets": 10, "rate_mbps": 5}}`
+	if err := os.WriteFile(filepath.Join(dir, "cell.json"), []byte(cell), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	campdir := filepath.Join(dir, "campaigns")
+	if err := os.Mkdir(campdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string // file base name, without .json
+		body string
+		frag string // substring of the expected finding ("" = clean)
+	}{
+		{name: "missing-scenario", body: `{"name": "missing-scenario", "description": "d",
+			"jobs": [{"id": "x", "scenario": "../no-such.json", "estimator": "topp"}]}`,
+			frag: "no-such.json"},
+		{name: "dup-ids", body: `{"name": "dup-ids", "description": "d",
+			"jobs": [{"id": "x", "scenario": "../cell.json", "estimator": "topp"},
+			         {"id": "x", "scenario": "../cell.json", "estimator": "slops"}]}`,
+			frag: "duplicate job id"},
+		{name: "renamed", body: `{"name": "other", "description": "d",
+			"jobs": [{"id": "x", "scenario": "../cell.json", "estimator": "topp"}]}`,
+			frag: "does not match"},
+		{name: "undescribed", body: `{"name": "undescribed",
+			"jobs": [{"id": "x", "scenario": "../cell.json", "estimator": "topp"}]}`,
+			frag: "no description"},
+		{name: "clean", body: `{"name": "clean", "description": "d",
+			"jobs": [{"id": "x", "scenario": "../cell.json", "estimator": "topp"}]}`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			path := filepath.Join(campdir, tt.name+".json")
+			if err := os.WriteFile(path, []byte(tt.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			findings := lintCampaign(path)
+			if tt.frag == "" {
+				if len(findings) != 0 {
+					t.Errorf("clean campaign produced findings: %v", findings)
+				}
+				return
+			}
+			if len(findings) == 0 {
+				t.Fatal("bad campaign produced no findings")
+			}
+			if !strings.Contains(findings[0], tt.frag) {
+				t.Errorf("finding %q lacks %q", findings[0], tt.frag)
+			}
+		})
+	}
+	// The directory walk picks campaigns up (alongside the scenario spec).
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Errorf("lintDir findings = %v, want 4 (one per bad campaign)", findings)
+	}
+}
+
 func TestEmptyDirIsAFinding(t *testing.T) {
 	findings, err := lintDir(t.TempDir())
 	if err != nil {
