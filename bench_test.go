@@ -355,6 +355,57 @@ func BenchmarkRateAnomaly(b *testing.B) {
 	b.ReportMetric(train.Y[last]-steady.Y[last], "slow_train_bias_Mbps")
 }
 
+// BenchmarkFig6TimeVarying re-runs the Figure 6 transient on a channel
+// that degrades mid-window: a scheduled FER step hits every station
+// 100ms after the warm-up, inside the per-packet range the figure
+// shows. The telemetry entry tracks what the structured-event path
+// costs on the hottest transient workload — its reps/sec should stay
+// in the same band as the static fig06 entry, since an armed schedule
+// only adds timer events at the instants it names.
+func BenchmarkFig6TimeVarying(b *testing.B) {
+	p := experiments.DefaultFig6()
+	fer := 0.2
+	base := probe.Link{
+		ProbeSize:  p.PacketSize,
+		Contenders: p.Contenders,
+		Seed:       p.Seed,
+		Schedule: []mac.ScheduledEvent{{
+			At:     600 * sim.Millisecond, // default 500ms warm-up + 100ms
+			Target: -1,
+			SetFER: &fer,
+		}},
+	}
+	p.Base = &base
+	fig := benchFigure(b, "fig06-timevarying", func(sc experiments.Scale) (*experiments.Figure, error) {
+		return experiments.Fig6MeanAccessDelay(p, sc, 150)
+	})
+	s := fig.Series[0]
+	// Headline: the fade's delay penalty — late-mean (under FER 20%)
+	// minus first-packet mean, which folds the transient acceleration
+	// and the scheduled degradation into one number.
+	b.ReportMetric(s.Y[len(s.Y)-1]-s.Y[0], "faded_transient_ms")
+}
+
+// BenchmarkPathSelection generates the selection-regret figure: every
+// epoch the path-selection harness probes all three candidate upstreams
+// with short trains (schedules rebased per epoch), scores them, and
+// routes by policy. The telemetry entry's replications_per_sec counts
+// figure replications, each of which is Epochs x Paths train
+// measurements — the densest consumer of the time-varying machinery.
+func BenchmarkPathSelection(b *testing.B) {
+	fig := runFigure(b, "selection-regret")
+	p := experiments.DefaultPathsel()
+	ema := seriesByName(b, fig, "ema")
+	last := seriesByName(b, fig, "last")
+	n := len(ema.Y)
+	// Headlines: the cumulative regret the mid-run collapse inflicts on
+	// the smoothed policy, and how much of it memorylessness avoids —
+	// the act-then-measure floor every policy pays is the gap between
+	// the two.
+	b.ReportMetric(ema.Y[n-1]-ema.Y[p.DegradeEpoch-1], "ema_collapse_regret_Mbps_epochs")
+	b.ReportMetric((ema.Y[n-1]-ema.Y[p.DegradeEpoch-1])-(last.Y[n-1]-last.Y[p.DegradeEpoch-1]), "ema_vs_last_excess_Mbps_epochs")
+}
+
 // BenchmarkRunnerScaling sweeps the replication engine's worker count
 // on two registry workloads: the Fig. 6 transient (exactly the fig06
 // registry entry's parameters, so `fig06` and `fig06-scaling-workers1`

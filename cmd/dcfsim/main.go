@@ -283,8 +283,11 @@ func main() {
 
 	if scen != nil {
 		fmt.Printf("scenario %q: %s\n", scen.Name, scen.Description)
-		for _, phase := range scen.Phases {
-			fmt.Printf("  - %s\n", phase)
+		for _, note := range scen.Notes {
+			fmt.Printf("  - %s\n", note)
+		}
+		for _, ev := range scen.Link.Schedule {
+			fmt.Printf("  - event at %v\n", ev.At)
 		}
 	}
 	fmt.Printf("PHY %s, %d stations, %.1fs simulated, %d replication(s) (RTS threshold %d)\n\n",

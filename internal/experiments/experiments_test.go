@@ -63,7 +63,8 @@ func TestFigureTable(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig01", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10", "fig13", "fig15", "fig16", "fig17",
 		"fer-rrc", "fer-transient", "hidden", "edca-transient", "rate-anomaly",
-		"abest-accuracy", "abest-frontier", "abest-robust", "abest-budget"}
+		"abest-accuracy", "abest-frontier", "abest-robust", "abest-budget",
+		"selection-regret", "failover-lag"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

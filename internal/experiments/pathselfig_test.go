@@ -1,0 +1,76 @@
+package experiments
+
+import "testing"
+
+func TestSelectionRegretShape(t *testing.T) {
+	p := DefaultPathsel()
+	fig, err := SelectionRegret(p, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(p.Policies) {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != p.Epochs {
+			t.Fatalf("%s: %d epochs", s.Name, len(s.X))
+		}
+		prev := 0.0
+		for i, y := range s.Y {
+			if y < prev {
+				t.Fatalf("%s: cumulative regret decreases at epoch %d: %g < %g", s.Name, i+1, y, prev)
+			}
+			prev = y
+		}
+		// The scheduled collapse costs every policy at least one epoch
+		// of riding the degraded path.
+		if s.Y[p.Epochs-1] <= s.Y[p.DegradeEpoch-1] {
+			t.Errorf("%s: no regret from the degradation: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestFailoverLagShape(t *testing.T) {
+	p := DefaultPathsel()
+	fig, err := FailoverLag(p, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(p.Policies) {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	maxLag := float64(p.Epochs - p.DegradeEpoch + 1)
+	for _, s := range fig.Series {
+		if len(s.X) != len(p.HystSweep) {
+			t.Fatalf("%s: %d margins", s.Name, len(s.X))
+		}
+		for i, y := range s.Y {
+			if y < 1 || y > maxLag {
+				t.Fatalf("%s: lag %g at margin %g outside [1, %g]", s.Name, y, s.X[i], maxLag)
+			}
+		}
+	}
+}
+
+func TestPathselParamsRejected(t *testing.T) {
+	p := DefaultPathsel()
+	p.Policies = nil
+	if _, err := SelectionRegret(p, tiny()); err == nil {
+		t.Error("no policies accepted")
+	}
+	p = DefaultPathsel()
+	p.DegradeEpoch = p.Epochs
+	if _, err := FailoverLag(p, tiny()); err == nil {
+		t.Error("degrade epoch beyond the horizon accepted")
+	}
+	p = DefaultPathsel()
+	p.HystSweep = nil
+	if _, err := FailoverLag(p, tiny()); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	p = DefaultPathsel()
+	p.Alpha = -1
+	if _, err := SelectionRegret(p, tiny()); err == nil {
+		t.Error("invalid pathsel config accepted")
+	}
+}

@@ -53,6 +53,10 @@ func Registry() []struct {
 		{"abest-frontier", func(sc Scale) (*Figure, error) { return AbestFrontier(DefaultAbest(), sc) }},
 		{"abest-robust", func(sc Scale) (*Figure, error) { return AbestRobust(DefaultAbest(), sc) }},
 		{"abest-budget", func(sc Scale) (*Figure, error) { return AbestBudget(DefaultAbest(), sc) }},
+		// Time-varying channel extensions: multi-upstream path selection
+		// over cells whose parameters change on a schedule mid-run.
+		{"selection-regret", func(sc Scale) (*Figure, error) { return SelectionRegret(DefaultPathsel(), sc) }},
+		{"failover-lag", func(sc Scale) (*Figure, error) { return FailoverLag(DefaultPathsel(), sc) }},
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"csmabw/internal/mac"
 	"csmabw/internal/probe"
 	"csmabw/internal/scenario"
 	"csmabw/internal/sim"
@@ -17,9 +18,10 @@ import (
 
 // cloneLink copies a measured cell so a per-unit mutation (seed,
 // contender rate) cannot race with the other units that share the
-// same Base pointer. The flow slices are the only mutable references
-// a Link carries; Topology is shared deliberately — the drivers never
-// mutate it.
+// same Base pointer. The flow and schedule slices are the mutable
+// references a Link carries; Topology is shared deliberately — the
+// drivers never mutate it (the engine clones it when events edit
+// edges).
 func cloneLink(base *probe.Link) probe.Link {
 	l := *base
 	if base.FIFOCross != nil {
@@ -27,6 +29,9 @@ func cloneLink(base *probe.Link) probe.Link {
 	}
 	if base.Contenders != nil {
 		l.Contenders = append([]probe.Flow(nil), base.Contenders...)
+	}
+	if base.Schedule != nil {
+		l.Schedule = append([]mac.ScheduledEvent(nil), base.Schedule...)
 	}
 	return l
 }

@@ -185,6 +185,14 @@ func TestHotPathAllocBound(t *testing.T) {
 	}{
 		{"dcf", func(seed int64) Config { return hotScenario(seed, true) }},
 		{"edca", hotScenarioEDCA},
+		// Scheduled events must stay off the per-frame path: the whole
+		// schedule costs a handful of setup allocations, then one integer
+		// comparison per busy period.
+		{"events", func(seed int64) Config {
+			cfg := scheduledHotScenario(seed)
+			cfg.Stations = hotScenario(seed, true).Stations
+			return cfg
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

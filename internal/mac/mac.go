@@ -176,6 +176,13 @@ type Config struct {
 	// wastes an RTS airtime instead of a full data frame.
 	RTSThreshold int
 
+	// Schedule lists mid-run parameter changes — time-varying error
+	// rates, data rates, powers and hearing-topology edges — in
+	// non-decreasing time order (see ScheduledEvent in schedule.go).
+	// An empty schedule takes the identical code path, RNG draw order
+	// included, as the pre-extension engine.
+	Schedule []ScheduledEvent
+
 	// DisableImmediateAccess forces every frame — even one arriving to a
 	// fully idle station on an idle medium — to draw a backoff before
 	// transmitting. Real DCF grants immediate access after DIFS idle;
@@ -415,6 +422,13 @@ type Engine struct {
 	multi     bool      // topology has hidden stations
 	lossy     bool      // some link has a non-zero error model
 	captureOn bool      // capture threshold configured
+	// sched is the engine-owned copy of Config.Schedule (recycled
+	// across Resets); nextEv indexes the first unapplied event. When
+	// the schedule edits topology edges, topoOwned is the engine's
+	// mutable clone of the configured hearing graph.
+	sched     []ScheduledEvent
+	nextEv    int
+	topoOwned *Topology
 	// chrng drives channel randomness (frame-error trials). It is a
 	// separate stream from the stations' backoff generators, and it is
 	// never advanced on a perfect channel, so perfect-channel runs make
@@ -555,6 +569,9 @@ func (e *Engine) init(cfg Config) error {
 		if err := e.resolveEDCA(s, sc); err != nil {
 			return fmt.Errorf("mac: station %d (%s): %w", i, sc.Name, err)
 		}
+	}
+	if err := e.initSchedule(cfg); err != nil {
+		return err
 	}
 	// Derived after the station loop so the stations' substreams stay
 	// identical to the pre-extension engine.
@@ -918,6 +935,12 @@ func (e *Engine) admitIdleArrivals() sim.Time {
 // period is a cluster of possibly overlapping transmissions, handled by
 // the imperfect-channel engine in channel.go.
 func (e *Engine) transmitAt(txAt sim.Time) {
+	if e.schedPending(txAt) {
+		// Scheduled parameter changes take effect here — before the busy
+		// period starting at txAt is resolved, and before any channel
+		// randomness for it is drawn.
+		e.applyEvents(txAt)
+	}
 	if e.multi {
 		e.transmitCluster(txAt)
 		return

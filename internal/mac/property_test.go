@@ -43,6 +43,7 @@ func randomConfig(r *sim.Rand, horizon sim.Time) Config {
 	}
 	sizes := []int{40, 576, 1000, 1500}
 	multi := cfg.Channel.Topology != nil && !cfg.Channel.Topology.IsFullMesh()
+	txop := false
 	for i := 0; i < n; i++ {
 		rate := (0.5 + r.Float64()*5) * 1e6
 		sc := StationConfig{
@@ -62,6 +63,7 @@ func randomConfig(r *sim.Rand, horizon sim.Time) Config {
 		case 1:
 			if !multi {
 				sc.AC = []phy.AccessCategory{phy.ACVideo, phy.ACVoice}[r.Intn(2)]
+				txop = true
 			}
 		}
 		if r.Intn(3) == 0 {
@@ -69,7 +71,48 @@ func randomConfig(r *sim.Rand, horizon sim.Time) Config {
 		}
 		cfg.Stations = append(cfg.Stations, sc)
 	}
+	if r.Intn(3) == 0 {
+		cfg.Schedule = randomSchedule(r, n, horizon, txop)
+	}
 	return cfg
+}
+
+// randomSchedule generates a small valid event schedule over n stations
+// within the first half of the horizon. Topology-edge events are only
+// generated when no station carries a TXOP limit (the engine rejects
+// that combination statically, like hidden topologies).
+func randomSchedule(r *sim.Rand, n int, horizon sim.Time, txop bool) []ScheduledEvent {
+	fp := func(v float64) *float64 { return &v }
+	count := 1 + r.Intn(3)
+	at := sim.Time(0)
+	out := make([]ScheduledEvent, 0, count)
+	for i := 0; i < count; i++ {
+		at += sim.Time(r.Intn(int(horizon / (2 * sim.Time(count)))))
+		ev := ScheduledEvent{At: at, Target: r.Intn(n+1) - 1}
+		switch r.Intn(5) {
+		case 0:
+			ev.SetFER = fp(r.Float64() * 0.4)
+		case 1:
+			ev.SetBER = fp(r.Float64() * 1e-4)
+		case 2:
+			ev.SetDataRate = fp([]float64{0, 1e6, 2e6, 5.5e6, 11e6}[r.Intn(5)])
+		case 3:
+			ev.SetPowerDB = fp(r.Float64() * 12)
+		default:
+			if !txop && n >= 2 {
+				a := r.Intn(n)
+				b := r.Intn(n)
+				for b == a {
+					b = r.Intn(n)
+				}
+				ev.SetTopologyEdge = &TopologyEdge{A: a, B: b, Hears: r.Intn(2) == 0}
+			} else {
+				ev.SetFER = fp(r.Float64() * 0.2)
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
 }
 
 // offered counts the arrivals each station's schedule holds.

@@ -131,3 +131,89 @@ func TestResetRunAllocBound(t *testing.T) {
 		t.Fatalf("%.0f allocations per reused replication of %d frames, want <= 16", allocs, delivered)
 	}
 }
+
+// scheduledHotScenario is hotScenario carrying a station-parameter
+// event schedule — channel-wide FER, one station's rate, a power bump —
+// that keeps the run on the single-domain engine, whose hot path the
+// alloc bounds pin. (Topology-edge events flip into the busy-cluster
+// engine, which allocates per busy period by design; the equivalence
+// test covers that family separately.)
+func scheduledHotScenario(seed int64) Config {
+	cfg := hotScenario(seed, false)
+	fer, rate, pow := 0.15, 5.5e6, 6.0
+	cfg.Schedule = []ScheduledEvent{
+		{At: 500 * sim.Millisecond, Target: -1, SetFER: &fer},
+		{At: sim.Second, Target: 1, SetDataRate: &rate},
+		{At: 2 * sim.Second, Target: 0, SetPowerDB: &pow},
+	}
+	return cfg
+}
+
+// TestResetScheduledEquivalence extends the reuse contract to event
+// schedules: Reset must rewind the event cursor and restore the
+// pre-event parameters (error model, rates, topology clone), so a
+// reused engine replays the schedule byte-identically to a fresh one.
+// The schedule includes a hearing-graph cut, so the recycled topology
+// clone is exercised too.
+func TestResetScheduledEquivalence(t *testing.T) {
+	cfg := scheduledHotScenario(23)
+	cfg.Schedule = append(cfg.Schedule,
+		ScheduledEvent{At: 2500 * sim.Millisecond, SetTopologyEdge: &TopologyEdge{A: 0, B: 1, Hears: false}})
+	fresh, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stats[0].ChannelErrors+fresh.Stats[1].ChannelErrors == 0 {
+		t.Fatal("schedule fixture inert: no channel errors despite FER event")
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			if err := e.Reset(cfg); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		compareResults(t, "scheduled round", fresh, e.Run())
+	}
+	// And a reset back to a schedule-free config sheds the events.
+	plain := hotScenario(23, false)
+	want, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(plain); err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "schedule shed", want, e.Run())
+}
+
+// TestResetScheduledAllocBound extends the ≤16-allocation reset budget
+// to scheduled-event configs: the schedule slice and the topology clone
+// must be recycled across Resets, not reallocated per replication.
+func TestResetScheduledAllocBound(t *testing.T) {
+	cfg := scheduledHotScenario(7)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run() // warm
+	delivered := 0
+	for _, st := range res.Stats {
+		delivered += st.Delivered
+	}
+	if delivered < 1000 {
+		t.Fatalf("scenario too small to be meaningful: %d delivered", delivered)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := e.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+	})
+	if allocs > 16 {
+		t.Fatalf("%.0f allocations per scheduled reused replication of %d frames, want <= 16", allocs, delivered)
+	}
+}

@@ -104,6 +104,14 @@ type Link struct {
 	// contender Flow's PowerDB; all-equal powers (the default) mean no
 	// frame can ever capture.
 	CaptureDB float64
+	// Schedule is the link's time-varying channel: mid-run parameter
+	// changes (error rates, modulation rates, powers, hearing-graph
+	// edges) the engine applies at their instants, in every
+	// replication — station 0 is the probing station, 1.. the
+	// contenders. Instants are absolute from each replication's t=0,
+	// so the WarmUp period is part of the timeline. Empty means the
+	// static channel, byte-identical to the pre-extension behaviour.
+	Schedule []mac.ScheduledEvent
 	// ProbePowerDB is the probing station's received power at the
 	// common receiver in relative dB.
 	ProbePowerDB float64
@@ -228,6 +236,9 @@ func (l Link) Validate() error {
 			return fmt.Errorf("probe: Topology: %w", err)
 		}
 	}
+	if err := mac.ValidateSchedule(l.Schedule, 1+len(l.Contenders)); err != nil {
+		return fmt.Errorf("probe: Schedule: %w", err)
+	}
 	return nil
 }
 
@@ -310,6 +321,7 @@ func (l Link) scenario(n int, gI sim.Time, rep int64) (mac.Config, sim.Time) {
 		Seed:         l.Seed ^ (rep+1)*0x9e3779b9,
 		Channel:      l.channel(),
 		RTSThreshold: l.RTSThreshold,
+		Schedule:     l.Schedule,
 	}
 	cfg.Stations = l.stations(station0, r, end)
 	return cfg, end
@@ -718,6 +730,7 @@ func MeasureSteadyState(l Link, rateBps float64, duration sim.Time) (*SteadyStat
 		Horizon:      end,
 		Channel:      l.channel(),
 		RTSThreshold: l.RTSThreshold,
+		Schedule:     l.Schedule,
 	}
 	cfg.Stations = l.stations(station0, r, end)
 	res, err := mac.Run(cfg)

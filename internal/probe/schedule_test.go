@@ -1,0 +1,70 @@
+package probe
+
+import (
+	"testing"
+
+	"csmabw/internal/mac"
+	"csmabw/internal/sim"
+)
+
+// The Link.Schedule knob threads the engine's time-varying channel
+// into both measurement paths. These tests pin the contract at the
+// probe layer: validation catches a malformed schedule before any
+// replication, an inert schedule leaves measurements byte-identical,
+// and a mid-run degradation visibly bends the steady-state rates.
+
+func TestScheduleValidatedUpFront(t *testing.T) {
+	l := quietLink(1)
+	bad := -0.5
+	l.Schedule = []mac.ScheduledEvent{{At: sim.Second, SetFER: &bad}}
+	if _, err := MeasureTrain(l, 10, 1e6, 2); err == nil {
+		t.Fatal("MeasureTrain accepted an invalid schedule")
+	}
+	if _, err := MeasureSteadyState(l, 1e6, sim.Second); err == nil {
+		t.Fatal("MeasureSteadyState accepted an invalid schedule")
+	}
+	l.Schedule = []mac.ScheduledEvent{{At: sim.Second, Target: 5, SetFER: new(float64)}}
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range schedule target")
+	}
+}
+
+func TestScheduleInertWhenLate(t *testing.T) {
+	base := quietLink(3)
+	plain, err := MeasureTrain(base, 20, 1e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := quietLink(3)
+	fer := 0.9
+	// Far past any train's drain horizon: never applied, never drawn.
+	l.Schedule = []mac.ScheduledEvent{{At: 3600 * sim.Second, Target: -1, SetFER: &fer}}
+	got, err := MeasureTrain(l, 20, 1e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MeanGO() != got.MeanGO() {
+		t.Fatalf("inert schedule changed the measurement: gO %g vs %g", plain.MeanGO(), got.MeanGO())
+	}
+}
+
+func TestScheduleDegradesSteadyState(t *testing.T) {
+	base := quietLink(7)
+	clean, err := MeasureSteadyState(base, 2e6, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := quietLink(7)
+	fer := 0.6
+	// Degrade the probe's uplink right as the measurement window opens
+	// (WarmUp 50ms + the first measured quarter).
+	l.Schedule = []mac.ScheduledEvent{{At: 100 * sim.Millisecond, Target: 0, SetFER: &fer}}
+	lossy, err := MeasureSteadyState(l, 2e6, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.ProbeRate >= 0.8*clean.ProbeRate {
+		t.Fatalf("FER 0.6 mid-run barely moved the carried rate: %.2f vs %.2f Mb/s",
+			lossy.ProbeRate/1e6, clean.ProbeRate/1e6)
+	}
+}

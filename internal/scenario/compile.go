@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"csmabw/internal/estimate"
 	"csmabw/internal/mac"
@@ -71,8 +73,9 @@ type Compiled struct {
 	// Estimator is the optional estimator campaign (nil when the spec
 	// has none).
 	Estimator *Estimator
-	// Phases are the spec's free-text time-phased notes.
-	Phases []string
+	// Notes are the spec's free-text annotations (including any legacy
+	// "phases" strings).
+	Notes []string
 }
 
 // errAt is a positional compile error rooted at a spec field path.
@@ -229,6 +232,89 @@ func compileProbing(p ProbingSpec, probeSize int) (Probing, error) {
 	return out, nil
 }
 
+// compileEvents lowers the spec's structured events into the engine's
+// schedule, with positional semantic validation: parseable and
+// monotone instants, station names that resolve against the compiled
+// cell (index 0 = the probing station), error rates in [0, 1),
+// non-negative rates, link edges between distinct in-range stations,
+// and no event that changes nothing. names is the compiled
+// StationNames list.
+func (s *Spec) compileEvents(names []string) ([]mac.ScheduledEvent, error) {
+	if len(s.Events) == 0 {
+		return nil, nil
+	}
+	n := len(names)
+	out := make([]mac.ScheduledEvent, 0, len(s.Events))
+	prev := sim.Time(0)
+	for i, ev := range s.Events {
+		path := fmt.Sprintf("events[%d]", i)
+		if ev.At == "" {
+			return nil, errAt(path+".at", `event needs an instant ("2s", "500ms")`)
+		}
+		d, err := time.ParseDuration(ev.At)
+		if err != nil {
+			return nil, errAt(path+".at", "bad duration %q", ev.At)
+		}
+		at := sim.FromSeconds(d.Seconds())
+		if at < 0 {
+			return nil, errAt(path+".at", "negative instant %q", ev.At)
+		}
+		if at < prev {
+			return nil, errAt(path+".at", "instant %q before the previous event; events must be time-ordered", ev.At)
+		}
+		prev = at
+		me := mac.ScheduledEvent{At: at, Target: -1}
+		if ev.Station != "" && ev.Station != "*" {
+			found := false
+			for j, nm := range names {
+				if nm == ev.Station {
+					me.Target, found = j, true
+					break
+				}
+			}
+			if !found {
+				return nil, errAt(path+".station", "unknown station %q (known: %s)", ev.Station, strings.Join(names, ", "))
+			}
+		}
+		if f := ev.FER; f != nil {
+			if *f < 0 || *f >= 1 {
+				return nil, errAt(path+".fer", "frame-error rate %g outside [0, 1)", *f)
+			}
+			me.SetFER = f
+		}
+		if b := ev.BER; b != nil {
+			if *b < 0 || *b >= 1 {
+				return nil, errAt(path+".ber", "bit-error rate %g outside [0, 1)", *b)
+			}
+			me.SetBER = b
+		}
+		if r := ev.DataRateMbps; r != nil {
+			if *r < 0 {
+				return nil, errAt(path+".data_rate_mbps", "negative rate %g", *r)
+			}
+			bps := *r * 1e6
+			me.SetDataRate = &bps
+		}
+		me.SetPowerDB = ev.PowerDB // walker guarantees finiteness
+		if lk := ev.Link; lk != nil {
+			a, b := lk[0], lk[1]
+			if a < 0 || a >= n || b < 0 || b >= n {
+				return nil, errAt(path+".link", "station index out of range [0, %d): [%d, %d]", n, a, b)
+			}
+			if a == b {
+				return nil, errAt(path+".link", "station %d cannot hear itself", a)
+			}
+			me.SetTopologyEdge = &mac.TopologyEdge{A: a, B: b, Hears: ev.Hears}
+		}
+		if me.SetFER == nil && me.SetBER == nil && me.SetDataRate == nil &&
+			me.SetPowerDB == nil && me.SetTopologyEdge == nil {
+			return nil, errAt(path, "event changes nothing; set fer, ber, data_rate_mbps, power_db or link")
+		}
+		out = append(out, me)
+	}
+	return out, nil
+}
+
 // compileEstimator validates the estimator campaign settings.
 func compileEstimator(e *EstimatorSpec) (*Estimator, error) {
 	if e == nil {
@@ -275,7 +361,7 @@ func (s *Spec) Compile() (*Compiled, error) {
 	c := &Compiled{
 		Name:        s.Name,
 		Description: s.Description,
-		Phases:      s.Phases,
+		Notes:       s.Notes,
 	}
 	p, err := phyFor(s.Phy)
 	if err != nil {
@@ -355,22 +441,38 @@ func (s *Spec) Compile() (*Compiled, error) {
 	}
 	l.CaptureDB = s.Channel.CaptureDB
 
+	if l.Schedule, err = s.compileEvents(c.StationNames); err != nil {
+		return nil, err
+	}
+	edgeEvents := false
+	for _, ev := range l.Schedule {
+		if ev.SetTopologyEdge != nil {
+			edgeEvents = true
+			break
+		}
+	}
+
 	// The engine rejects a TXOP-enabled access category combined with a
-	// hidden-station topology only when the replication actually runs;
-	// the whole point of the compiler is to catch that conflict here,
-	// positionally, before any measurement starts.
-	if topo != nil && !topo.IsFullMesh() {
+	// hidden-station topology (or scheduled hearing-graph edits, which
+	// can hide stations mid-run) only when the replication actually
+	// runs; the whole point of the compiler is to catch that conflict
+	// here, positionally, before any measurement starts.
+	if (topo != nil && !topo.IsFullMesh()) || edgeEvents {
+		why := "over a topology with hidden stations"
+		if topo == nil || topo.IsFullMesh() {
+			why = "with scheduled link events"
+		}
 		eff := l.Phy
 		if eff.Name == "" {
 			eff = phy.B11()
 		}
 		if eff.EDCA(probeAC).TXOPLimit > 0 {
-			return nil, errAt("probe.ac", "access category %v has a TXOP limit, unsupported over a topology with hidden stations", probeAC)
+			return nil, errAt("probe.ac", "access category %v has a TXOP limit, unsupported %s", probeAC, why)
 		}
 		for i, f := range l.Contenders {
 			if eff.EDCA(f.AC).TXOPLimit > 0 {
 				return nil, errAt(fmt.Sprintf("stations[%d].ac", i),
-					"access category %v has a TXOP limit, unsupported over a topology with hidden stations", f.AC)
+					"access category %v has a TXOP limit, unsupported %s", f.AC, why)
 			}
 		}
 	}
@@ -437,6 +539,7 @@ func (c *Compiled) MACConfig(stream sim.Stream, horizon sim.Time) (mac.Config, e
 		Seed:         stream.Child(0).Seed(),
 		Horizon:      horizon,
 		RTSThreshold: l.RTSThreshold,
+		Schedule:     l.Schedule,
 		Channel: mac.Channel{
 			Topology:           l.Topology,
 			Loss:               l.Loss,

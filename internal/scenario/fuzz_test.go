@@ -30,6 +30,17 @@ func FuzzScenarioSpec(f *testing.F) {
 		`{"name": "t", "channel": {"topology": {"kind": "links", "links": [[0, 1]]}},
 		  "stations": [{"traffic": {"rate_mbps": 1}}],
 		  "probing": {"plan": "train", "packets": 10}}`,
+		`{"name": "tv", "stations": [{"name": "bulk", "traffic": {"rate_mbps": 2}}],
+		  "probing": {"plan": "steady", "rate_mbps": 4, "duration_seconds": 1},
+		  "events": [{"at": "500ms", "fer": 0.2},
+		             {"at": "1s", "station": "bulk", "data_rate_mbps": 2, "power_db": 6},
+		             {"at": "2s", "link": [0, 1], "hears": false},
+		             {"at": "3s", "station": "*", "fer": 0}],
+		  "notes": ["time-varying seed"]}`,
+		`{"name": "t", "probing": {"plan": "train", "packets": 10},
+		  "events": [{"at": "nonsense", "fer": 2}]}`,
+		`{"name": "t", "probing": {"plan": "train", "packets": 10},
+		  "events": [{"at": "1s"}], "phases": ["legacy"]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -113,8 +113,8 @@ func TestFullSpec(t *testing.T) {
 		e.Budget.MaxProbeSeconds != 3 || e.Budget.MaxPackets != 4000 {
 		t.Fatalf("estimator %+v", e)
 	}
-	if len(c.Phases) != 2 {
-		t.Fatalf("phases %v", c.Phases)
+	if len(c.Notes) != 2 {
+		t.Fatalf("notes %v", c.Notes)
 	}
 }
 

@@ -19,6 +19,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -52,9 +53,48 @@ type Spec struct {
 	Probing ProbingSpec
 	// Estimator optionally configures a closed-loop estimator campaign.
 	Estimator *EstimatorSpec
-	// Phases are free-text time-phased notes ("0-10s: warmup", …);
-	// they are carried through to the compiled scenario untouched.
-	Phases []string
+	// Events are the structured mid-run parameter changes — the
+	// time-varying channel. Compile validates and lowers them into the
+	// engine's event schedule.
+	Events []EventSpec
+	// Notes are free-text annotations ("0-10s: warmup", …) carried
+	// through to the compiled scenario untouched. The legacy "phases"
+	// key parses into this field too, so old specs keep loading.
+	Notes []string
+	// LegacyPhases records that the spec used the deprecated "phases"
+	// key; scenlint flags it so the checked-in library stays on the
+	// structured schema.
+	LegacyPhases bool
+}
+
+// EventSpec is one structured mid-run change, mirroring the JSON:
+//
+//	{"at": "2s", "station": "sta1", "fer": 0.3}
+//	{"at": "5s", "link": [0, 2], "hears": false}
+//
+// The pointer fields distinguish "absent" from an explicit zero (FER 0
+// restores the perfect channel), matching the engine's own semantics.
+type EventSpec struct {
+	// At is the event's instant as a duration string ("2s", "500ms"),
+	// absolute from each replication's t=0 (warm-up included).
+	At string
+	// Station names the target: a station name from the spec, "probe"
+	// for the probing station, or ""/"*" for every station. Ignored by
+	// Link events, which name their own pair.
+	Station string
+	// FER / BER override the target's frame/bit error rates in [0, 1).
+	FER, BER *float64
+	// DataRateMbps overrides the target's modulation rate; 0 restores
+	// the PHY rate.
+	DataRateMbps *float64
+	// PowerDB overrides the target's received power in relative dB.
+	PowerDB *float64
+	// Link edits one hearing-graph edge between two station indices
+	// (0 = probe, 1.. = stations in spec order); Hears is the edge's
+	// new state (absent = false, a cut).
+	Link *[2]int
+	// Hears is the Link edge's new state.
+	Hears bool
 }
 
 // ProbeSpec configures the probing station itself.
@@ -176,7 +216,16 @@ func Parse(data []byte) (*Spec, error) {
 		Phy:               root.Str("phy"),
 		Seed:              int64(root.Int("seed")),
 		RTSThresholdBytes: root.Int("rts_threshold_bytes"),
-		Phases:            root.Strs("phases"),
+		Notes:             root.Strs("notes"),
+	}
+	if root.Has("phases") {
+		// The pre-events free-text form; kept loading so old specs
+		// survive, flagged so scenlint can push the library forward.
+		s.Notes = append(s.Notes, root.Strs("phases")...)
+		s.LegacyPhases = true
+	}
+	for _, ev := range root.Children("events") {
+		s.Events = append(s.Events, parseEvent(ev))
 	}
 	if p := root.Child("probe"); p != nil {
 		s.Probe = ProbeSpec{
@@ -249,6 +298,42 @@ func Parse(data []byte) (*Spec, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// parseEvent reads one structured event object. Pointer fields record
+// presence, so an explicit zero ("fer": 0 — restore the perfect
+// channel) survives to the compiler.
+func parseEvent(o *Obj) EventSpec {
+	e := EventSpec{
+		At:      o.Str("at"),
+		Station: o.Str("station"),
+	}
+	num := func(key string) *float64 {
+		if !o.Has(key) {
+			return nil
+		}
+		v := o.Num(key)
+		return &v
+	}
+	e.FER = num("fer")
+	e.BER = num("ber")
+	e.DataRateMbps = num("data_rate_mbps")
+	e.PowerDB = num("power_db")
+	if o.Has("hears") && !o.Has("link") {
+		o.Fail("hears", `"hears" needs a "link" edge`)
+	}
+	e.Hears = o.Bool("hears")
+	if o.Has("link") {
+		ns := o.Nums("link")
+		if len(ns) != 2 || ns[0] != math.Trunc(ns[0]) || ns[1] != math.Trunc(ns[1]) {
+			o.Fail("link", "want a [a, b] station index pair")
+		} else {
+			pair := [2]int{int(ns[0]), int(ns[1])}
+			e.Link = &pair
+		}
+	}
+	o.Done()
+	return e
 }
 
 // parseFlow reads one traffic-flow object.

@@ -98,6 +98,20 @@ func (o *Obj) Str(key string) string {
 	return s
 }
 
+// Bool reads an optional boolean field.
+func (o *Obj) Bool(key string) bool {
+	v, ok := o.get(key)
+	if !ok || *o.err != nil {
+		return false
+	}
+	b, ok := v.(bool)
+	if !ok {
+		o.Fail(key, "want a bool, got %s", typeName(v))
+		return false
+	}
+	return b
+}
+
 // Num reads an optional finite number field.
 func (o *Obj) Num(key string) float64 {
 	v, ok := o.get(key)

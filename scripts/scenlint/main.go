@@ -25,6 +25,7 @@ import (
 
 	"csmabw/internal/campaign"
 	"csmabw/internal/scenario"
+	"csmabw/internal/sim"
 )
 
 func main() {
@@ -98,11 +99,20 @@ func lintCampaign(path string) []string {
 }
 
 // lintFile compiles one spec file and checks its housekeeping
-// invariants, returning one finding line per problem.
+// invariants, returning one finding line per problem. Beyond what the
+// compiler already rejects (malformed events, ghost stations,
+// out-of-order instants), the linter flags the deprecated free-text
+// "phases" key and scheduled events a steady measurement can never
+// reach — both legal, both almost certainly mistakes in a checked-in
+// library spec.
 func lintFile(path string) []string {
-	c, err := scenario.CompileFile(path)
+	s, err := scenario.Load(path)
 	if err != nil {
 		return []string{err.Error()}
+	}
+	c, err := s.Compile()
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
 	}
 	var findings []string
 	stem := strings.TrimSuffix(filepath.Base(path), ".json")
@@ -111,6 +121,21 @@ func lintFile(path string) []string {
 	}
 	if strings.TrimSpace(c.Description) == "" {
 		findings = append(findings, fmt.Sprintf("%s: spec has no description", path))
+	}
+	if s.LegacyPhases {
+		findings = append(findings, fmt.Sprintf("%s: deprecated \"phases\" key; rename to \"notes\", or describe the timeline as structured \"events\"", path))
+	}
+	if c.Probing.Plan == scenario.PlanSteady && c.Probing.DurationSeconds > 0 {
+		// The steady horizon is warm-up plus the spec's own measurement
+		// duration; an event at or past it can never fire at that
+		// duration. Specs that leave the duration to the tool's scale
+		// are skipped — the horizon isn't theirs to miss.
+		horizon := c.Link.WithDefaults().WarmUp + sim.FromSeconds(c.Probing.DurationSeconds)
+		for i, ev := range c.Link.Schedule {
+			if ev.At >= horizon {
+				findings = append(findings, fmt.Sprintf("%s: events[%d] at %v is past the spec's steady horizon %v (warm-up + duration): it can never fire", path, i, ev.At, horizon))
+			}
+		}
 	}
 	return findings
 }

@@ -112,6 +112,21 @@ func TestLintFileFindings(t *testing.T) {
 			"probing": {"plan": "warp", "packets": 10, "rate_mbps": 5}}`,
 			frag: "plan"},
 		{name: "garbage", body: `{"name": `, frag: "garbage"},
+		{name: "legacy", body: `{"name": "legacy", "description": "d",
+			"probing": {"plan": "train", "packets": 10, "rate_mbps": 5},
+			"phases": ["0-1s warm-up"]}`,
+			frag: `deprecated "phases"`},
+		{name: "bad-event", body: `{"name": "bad-event", "description": "d",
+			"probing": {"plan": "train", "packets": 10, "rate_mbps": 5},
+			"events": [{"at": "1s", "station": "ghost", "fer": 0.2}]}`,
+			frag: "events[0].station"},
+		{name: "inert-event", body: `{"name": "inert-event", "description": "d",
+			"probing": {"plan": "steady", "rate_mbps": 5, "duration_seconds": 1},
+			"events": [{"at": "10s", "fer": 0.2}]}`,
+			frag: "can never fire"},
+		{name: "live-event", body: `{"name": "live-event", "description": "d",
+			"probing": {"plan": "steady", "rate_mbps": 5, "duration_seconds": 1},
+			"events": [{"at": "1s", "fer": 0.2}]}`},
 		{name: "clean", body: `{"name": "clean", "description": "d",
 			"probing": {"plan": "train", "packets": 10, "rate_mbps": 5}}`},
 	}
